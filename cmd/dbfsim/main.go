@@ -1,0 +1,182 @@
+// Command dbfsim runs one asynchronous Distributed Bellman-Ford
+// simulation and prints the routing tables and convergence statistics.
+//
+// Usage:
+//
+//	dbfsim -algebra rip -topo ring -n 6 -seed 1 -loss 0.2 -dup 0.1
+//	dbfsim -algebra policy -policy 'addc(3); if (comm(3)) { lp+=2 }'
+//
+// Algebras: shortest, rip, widest, pv (path-tracked shortest), gr
+// (Gao–Rexford tiers), policy (the Section 7 language; see -policy).
+// Topologies: line, ring, grid, clique, star, random, fattree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/algebras"
+	"repro/internal/core"
+	"repro/internal/gaorexford"
+	"repro/internal/matrix"
+	"repro/internal/pathalg"
+	"repro/internal/policy"
+	"repro/internal/simulate"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		algebra = flag.String("algebra", "rip", "routing algebra: shortest|rip|widest|pv|gr|policy")
+		topo    = flag.String("topo", "ring", "topology: line|ring|grid|clique|star|random|fattree")
+		n       = flag.Int("n", 6, "number of nodes (fattree: k, nodes = 5k²/4)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		loss    = flag.Float64("loss", 0.1, "message loss probability")
+		dup     = flag.Float64("dup", 0.05, "message duplication probability")
+		delay   = flag.Int64("delay", 10, "max message delay (virtual ticks)")
+		garbage = flag.Bool("garbage", false, "start from a random state instead of the clean state")
+		polSrc  = flag.String("policy", "lp+=1",
+			"policy program applied on every edge when -algebra policy (Section 7 syntax)")
+		showTrace = flag.Bool("trace", false, "print the route-change timeline after the run")
+	)
+	flag.Parse()
+
+	g := buildGraph(*topo, *n, *seed)
+	cfg := simulate.Config{Seed: *seed, LossProb: *loss, DupProb: *dup, MaxDelay: *delay}
+	if *showTrace {
+		recorder = &trace.Recorder{}
+	}
+
+	switch *algebra {
+	case "shortest":
+		alg := algebras.ShortestPaths{}
+		runNat[algebras.ShortestPaths](alg, topology.BuildUniform[algebras.NatInf](g, alg.AddEdge(1)), cfg, *garbage, *seed,
+			[]algebras.NatInf{0, 1, 2, algebras.Inf})
+	case "rip":
+		alg := algebras.RIP()
+		runNat[algebras.HopCount](alg, topology.BuildUniform[algebras.NatInf](g, alg.AddEdge(1)), cfg, *garbage, *seed, alg.Universe())
+	case "widest":
+		alg := algebras.WidestPaths{}
+		rng := rand.New(rand.NewSource(*seed))
+		adj := topology.Build[algebras.NatInf](g, func(i, j int) core.Edge[algebras.NatInf] {
+			return alg.CapEdge(algebras.NatInf(1 + rng.Intn(9)))
+		})
+		runNat[algebras.WidestPaths](alg, adj, cfg, *garbage, *seed, []algebras.NatInf{0, 1, 5, algebras.Inf})
+	case "pv":
+		base := algebras.ShortestPaths{}
+		alg := pathalg.New[algebras.NatInf](base)
+		baseAdj := topology.BuildUniform[algebras.NatInf](g, base.AddEdge(1))
+		adj := pathalg.LiftAdjacency(alg, baseAdj)
+		type R = pathalg.Route[algebras.NatInf]
+		start := matrix.Identity[R](alg, g.N)
+		out := simulate.RunTraced[R](alg, adj, start, cfg, nil, nil, recorder)
+		report[R](alg, adj, out)
+	case "gr":
+		alg := gaorexford.Algebra{MaxHops: 16}
+		rng := rand.New(rand.NewSource(*seed))
+		adj := topology.Build[gaorexford.Route](g, func(i, j int) core.Edge[gaorexford.Route] {
+			// Orient relationships by node id: lower id = provider;
+			// equal-tier links (adjacent ids) peer. This is arbitrary but
+			// produces a valid GR instance on any graph.
+			switch {
+			case i == j-1 || j == i-1:
+				return alg.Edge(gaorexford.PeerEdge)
+			case i < j:
+				return alg.Edge(gaorexford.CustomerEdge)
+			default:
+				return alg.Edge(gaorexford.ProviderEdge)
+			}
+		})
+		_ = rng
+		start := matrix.Identity[gaorexford.Route](alg, g.N)
+		out := simulate.RunTraced[gaorexford.Route](alg, adj, start, cfg, nil, nil, recorder)
+		report[gaorexford.Route](alg, adj, out)
+	case "policy":
+		pol, err := policy.ParsePolicy(*polSrc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		alg := policy.Algebra{}
+		adj := topology.Build[policy.Route](g, func(i, j int) core.Edge[policy.Route] {
+			return alg.Edge(i, j, pol)
+		})
+		fmt.Printf("policy on every edge: %s\n", pol)
+		start := matrix.Identity[policy.Route](alg, g.N)
+		if *garbage {
+			rng := rand.New(rand.NewSource(*seed))
+			start = matrix.RandomState(rng, g.N, func(rng *rand.Rand, _, _ int) policy.Route {
+				return policy.RandomRoute(rng, g.N)
+			})
+		}
+		out := simulate.RunTraced[policy.Route](alg, adj, start, cfg, nil, nil, recorder)
+		report[policy.Route](alg, adj, out)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algebra %q\n", *algebra)
+		os.Exit(2)
+	}
+}
+
+// recorder, when non-nil, captures the run's event timeline for -trace.
+var recorder *trace.Recorder
+
+func buildGraph(topo string, n int, seed int64) topology.Graph {
+	switch topo {
+	case "line":
+		return topology.Line(n)
+	case "ring":
+		return topology.Ring(n)
+	case "grid":
+		side := 2
+		for side*side < n {
+			side++
+		}
+		return topology.Grid(side, side)
+	case "clique":
+		return topology.Complete(n)
+	case "star":
+		return topology.Star(n)
+	case "random":
+		return topology.ErdosRenyi(rand.New(rand.NewSource(seed)), n, 0.3)
+	case "fattree":
+		g, _ := topology.FatTree(n)
+		return g
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", topo)
+		os.Exit(2)
+		return topology.Graph{}
+	}
+}
+
+func runNat[A core.Algebra[algebras.NatInf]](alg A, adj *matrix.Adjacency[algebras.NatInf],
+	cfg simulate.Config, garbage bool, seed int64, universe []algebras.NatInf) {
+	start := matrix.Identity[algebras.NatInf](alg, adj.N)
+	if garbage {
+		start = matrix.RandomStateFrom(rand.New(rand.NewSource(seed)), adj.N, universe)
+	}
+	out := simulate.RunTraced[algebras.NatInf](alg, adj, start, cfg, nil, nil, recorder)
+	report[algebras.NatInf](alg, adj, out)
+}
+
+func report[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], out simulate.Outcome[R]) {
+	fmt.Println(out.Describe())
+	stable := matrix.IsStable[R](alg, adj, out.Final)
+	fmt.Printf("final state σ-stable: %v\n", stable)
+	if adj.N <= 12 {
+		fmt.Println("routing tables (row i = node i's best route to each destination):")
+		fmt.Print(out.Final.Format(alg))
+	} else {
+		fmt.Printf("(%d nodes; tables suppressed, rerun with -n ≤ 12 to print them)\n", adj.N)
+	}
+	if recorder != nil {
+		fmt.Println("\nroute-change timeline:")
+		recorder.Timeline(os.Stdout, 40)
+		recorder.Summary(os.Stdout)
+	}
+	if !out.Converged {
+		os.Exit(1)
+	}
+}

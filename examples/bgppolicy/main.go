@@ -1,0 +1,86 @@
+// BGP-like policy routing with the Section 7 safe-by-design algebra: four
+// ASes exchange routes with conditional route maps — community tagging,
+// local-preference adjustment and community-triggered filtering — over the
+// live goroutine engine with a lossy transport. Because the policy
+// language can only express increasing policies, convergence to a unique
+// solution is guaranteed no matter what the operators write.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/matrix"
+	"repro/internal/policy"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+const (
+	commBackup  policy.Community = 1 // "this is a backup route"
+	commScrubbd policy.Community = 2 // "passed the scrubbing centre"
+)
+
+func main() {
+	alg := policy.Algebra{}
+	const n = 4
+	adj := matrix.NewAdjacency[policy.Route](n)
+
+	// Topology: 0 — 1 — 2 — 3 — 0 ring.
+	// AS 1 deprioritises anything tagged backup; AS 2 tags its exports
+	// with the scrubbing community; AS 3 refuses unscrubbed routes that
+	// travelled through AS 0.
+	link := func(i, j int, pol policy.Policy) {
+		adj.SetEdge(i, j, alg.Edge(i, j, pol))
+	}
+	deprioritiseBackups := policy.If(policy.InComm(commBackup), policy.IncrPrefBy(10))
+	tagScrubbed := policy.AddComm(commScrubbd)
+	refuseUnscrubbedVia0 := policy.If(
+		policy.And(policy.InPath(0), policy.Not(policy.InComm(commScrubbd))),
+		policy.Reject(),
+	)
+	markBackup := policy.AddComm(commBackup)
+
+	link(0, 1, policy.Identity())
+	link(1, 0, deprioritiseBackups)
+	link(1, 2, policy.Identity())
+	link(2, 1, tagScrubbed)
+	link(2, 3, tagScrubbed)
+	link(3, 2, refuseUnscrubbedVia0)
+	link(3, 0, markBackup)
+	link(0, 3, refuseUnscrubbedVia0)
+
+	// The policies are arbitrary route maps, yet the algebra is provably
+	// increasing — print what the checker would conclude, then run live.
+	fmt.Println("policies installed (every one increasing by construction):")
+	for _, e := range adj.Edges() {
+		fmt.Printf("  %d←%d: %s\n", e.I, e.J, e.E.Label())
+	}
+
+	start := matrix.Identity[policy.Route](alg, n)
+	want, rounds, ok := matrix.FixedPoint[policy.Route](alg, adj, start, 200)
+	if !ok {
+		log.Fatal("σ did not converge — impossible for an increasing algebra")
+	}
+	fmt.Printf("\nsynchronous fixed point after %d rounds:\n%s\n", rounds, want.Format(alg))
+
+	tr := transport.NewMemory(n, 7, transport.Faults{
+		LossProb: 0.2,
+		DupProb:  0.1,
+		MaxDelay: 4 * time.Millisecond,
+	})
+	defer tr.Close()
+	nw := dist.NewNetwork[policy.Route](alg, adj, start, wire.PolicyCodec{}, tr, dist.Config{
+		Seed:    7,
+		Timeout: 30 * time.Second,
+	})
+	out := nw.Run(context.Background())
+	fmt.Printf("live engine (goroutines + lossy transport): %s\n", out.Describe())
+	if !out.Converged || !out.Final.Equal(alg, want) {
+		log.Fatal("live engine deviated from the unique solution")
+	}
+	fmt.Println("live limit == synchronous fixed point ✓ (safe by design)")
+}

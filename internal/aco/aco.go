@@ -1,0 +1,230 @@
+// Package aco makes the Üresin & Dubois ACO ("asynchronously contracting
+// operator") conditions executable — the middle layer of the paper's
+// Figure 1. The conditions require a descending chain of *boxes* (sets
+// that are cartesian products of per-cell route sets)
+//
+//	D(0) ⊇ D(1) ⊇ D(2) ⊇ …,   σ(D(k)) ⊆ D(k+1),   ∩ D(k) = {X*}
+//
+// whose existence guarantees that the asynchronous iteration δ converges
+// to X* from anywhere in D(0).
+//
+// Gurney's theorem (arrow b of Figure 1) produces the boxes from an
+// ultrametric: take D(k) to be the closed ball of the k-th largest
+// distance value around the fixed point. Because the state distance is
+// the max over cells, ultrametric balls are automatically box-shaped —
+// exactly the property the asynchronous proof needs. This package builds
+// those balls concretely for finite route universes and verifies every
+// ACO clause by direct enumeration of cell values and sampling of states.
+package aco
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/ultrametric"
+)
+
+// Boxes is the descending chain D(0) ⊇ D(1) ⊇ … derived from an
+// ultrametric around a fixed point. Box k is the product over cells (i,j)
+// of Cells[k][i*N+j], each a set of routes within radius Radii[k] of
+// X*_ij.
+type Boxes[R any] struct {
+	N     int
+	Radii []int
+	// Cells[k][i*N+j] lists the routes allowed in cell (i,j) at level k.
+	Cells    [][][]R
+	Fixed    *matrix.State[R]
+	alg      core.Algebra[R]
+	metric   ultrametric.RouteMetric[R]
+	universe []R
+}
+
+// Build constructs the ball chain for a finite route universe around the
+// fixed point of σ. Radii are the distinct distance values that occur,
+// descending to 0.
+func Build[R any](
+	alg core.Algebra[R],
+	m ultrametric.RouteMetric[R],
+	universe []R,
+	fixed *matrix.State[R],
+) *Boxes[R] {
+	n := fixed.N
+	// Collect the distinct distances from any universe route to any
+	// fixed-point cell.
+	seen := map[int]bool{0: true}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for _, r := range universe {
+				seen[m.Distance(r, fixed.Get(i, j))] = true
+			}
+		}
+	}
+	radii := make([]int, 0, len(seen))
+	for d := range seen {
+		radii = append(radii, d)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(radii)))
+
+	b := &Boxes[R]{
+		N: n, Radii: radii, Fixed: fixed,
+		alg: alg, metric: m, universe: universe,
+	}
+	b.Cells = make([][][]R, len(radii))
+	for k, rad := range radii {
+		b.Cells[k] = make([][]R, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var cell []R
+				for _, r := range universe {
+					if m.Distance(r, fixed.Get(i, j)) <= rad {
+						cell = append(cell, r)
+					}
+				}
+				b.Cells[k][i*n+j] = cell
+			}
+		}
+	}
+	return b
+}
+
+// Levels returns the number of boxes in the chain.
+func (b *Boxes[R]) Levels() int { return len(b.Radii) }
+
+// Contains reports whether state x lies in box k.
+func (b *Boxes[R]) Contains(k int, x *matrix.State[R]) bool {
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < b.N; j++ {
+			if b.metric.Distance(x.Get(i, j), b.Fixed.Get(i, j)) > b.Radii[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Level returns the deepest box containing x (larger is closer to X*).
+func (b *Boxes[R]) Level(x *matrix.State[R]) int {
+	level := 0
+	for k := 0; k < len(b.Radii); k++ {
+		if b.Contains(k, x) {
+			level = k
+		} else {
+			break
+		}
+	}
+	return level
+}
+
+// Sample draws a uniform member of box k (cellwise uniform over the
+// allowed routes).
+func (b *Boxes[R]) Sample(rng *rand.Rand, k int) *matrix.State[R] {
+	x := matrix.NewState(b.N, b.alg.Invalid())
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < b.N; j++ {
+			cell := b.Cells[k][i*b.N+j]
+			x.Set(i, j, cell[rng.Intn(len(cell))])
+		}
+	}
+	return x
+}
+
+// Report is the outcome of verifying the ACO clauses.
+type Report struct {
+	Nested          bool // D(k+1) ⊆ D(k), by construction of balls
+	Shrinks         bool // σ(D(k)) ⊆ D(k+1), sampled
+	BottomSingleton bool // the last box is exactly {X*}
+	TopIsEverything bool // D(0) contains every universe-valued state
+	Checked         int
+	Counterexample  string
+}
+
+// OK reports whether all clauses held.
+func (r Report) OK() bool {
+	return r.Nested && r.Shrinks && r.BottomSingleton && r.TopIsEverything
+}
+
+func (r Report) String() string {
+	if r.OK() {
+		return fmt.Sprintf("ACO conditions hold (%d cases)", r.Checked)
+	}
+	return fmt.Sprintf("nested=%v shrinks=%v bottom=%v top=%v: %s",
+		r.Nested, r.Shrinks, r.BottomSingleton, r.TopIsEverything, r.Counterexample)
+}
+
+// Verify checks every ACO clause: nesting (exhaustive over cell sets),
+// the σ-shrink property (samples per level), the bottom box being the
+// fixed point alone, and the top box covering the whole universe.
+func Verify[R any](
+	b *Boxes[R],
+	adj *matrix.Adjacency[R],
+	rng *rand.Rand,
+	samplesPerLevel int,
+) Report {
+	rep := Report{Nested: true, Shrinks: true, BottomSingleton: true, TopIsEverything: true}
+
+	// Nesting: every cell set at level k+1 is a subset of level k.
+	for k := 0; k+1 < b.Levels(); k++ {
+		for c := range b.Cells[k] {
+			for _, r := range b.Cells[k+1][c] {
+				rep.Checked++
+				found := false
+				for _, s := range b.Cells[k][c] {
+					if b.alg.Equal(r, s) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					rep.Nested = false
+					rep.Counterexample = fmt.Sprintf("cell %d: level %d not ⊆ level %d", c, k+1, k)
+					return rep
+				}
+			}
+		}
+	}
+
+	// Bottom: radius 0 balls are single routes equal to X*.
+	last := b.Levels() - 1
+	if b.Radii[last] != 0 {
+		rep.BottomSingleton = false
+		rep.Counterexample = "last radius is not 0"
+		return rep
+	}
+	for c, cell := range b.Cells[last] {
+		rep.Checked++
+		if len(cell) != 1 {
+			rep.BottomSingleton = false
+			rep.Counterexample = fmt.Sprintf("cell %d of bottom box has %d members", c, len(cell))
+			return rep
+		}
+	}
+
+	// Top: D(0) admits every universe route in every cell.
+	for c, cell := range b.Cells[0] {
+		rep.Checked++
+		if len(cell) != len(b.universe) {
+			rep.TopIsEverything = false
+			rep.Counterexample = fmt.Sprintf("cell %d of top box excludes %d universe routes",
+				c, len(b.universe)-len(cell))
+			return rep
+		}
+	}
+
+	// Shrink: σ maps samples of D(k) into D(k+1).
+	for k := 0; k+1 < b.Levels(); k++ {
+		for s := 0; s < samplesPerLevel; s++ {
+			rep.Checked++
+			x := b.Sample(rng, k)
+			sx := matrix.Sigma(b.alg, adj, x)
+			if !b.Contains(k+1, sx) {
+				rep.Shrinks = false
+				rep.Counterexample = fmt.Sprintf("level %d sample %d: σ(X) escaped D(%d)", k, s, k+1)
+				return rep
+			}
+		}
+	}
+	return rep
+}

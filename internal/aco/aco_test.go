@@ -1,0 +1,117 @@
+package aco
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebras"
+	"repro/internal/matrix"
+	"repro/internal/ultrametric"
+)
+
+func ripNet() (algebras.HopCount, *matrix.Adjacency[algebras.NatInf]) {
+	alg := algebras.HopCount{Limit: 7}
+	adj := matrix.NewAdjacency[algebras.NatInf](4)
+	link := func(i, j int, w algebras.NatInf) {
+		adj.SetEdge(i, j, alg.AddEdge(w))
+		adj.SetEdge(j, i, alg.AddEdge(w))
+	}
+	link(0, 1, 1)
+	link(1, 2, 1)
+	link(2, 3, 1)
+	link(3, 0, 1)
+	adj.SetEdge(0, 2, alg.ConditionalEdge(1, algebras.DistanceAtMost(3)))
+	return alg, adj
+}
+
+func build(t *testing.T) (algebras.HopCount, *matrix.Adjacency[algebras.NatInf], *Boxes[algebras.NatInf]) {
+	t.Helper()
+	alg, adj := ripNet()
+	fixed, _, ok := matrix.FixedPoint[algebras.NatInf](alg, adj, matrix.Identity[algebras.NatInf](alg, 4), 100)
+	if !ok {
+		t.Fatal("no fixed point")
+	}
+	m := ultrametric.NewDV[algebras.NatInf](alg, alg.Universe())
+	return alg, adj, Build[algebras.NatInf](alg, m, alg.Universe(), fixed)
+}
+
+func TestACOConditionsHold(t *testing.T) {
+	_, adj, boxes := build(t)
+	rng := rand.New(rand.NewSource(7))
+	rep := Verify[algebras.NatInf](boxes, adj, rng, 60)
+	if !rep.OK() {
+		t.Fatalf("ACO conditions must hold for the strictly increasing algebra: %s", rep)
+	}
+	if boxes.Levels() < 3 {
+		t.Errorf("suspiciously shallow chain: %d levels", boxes.Levels())
+	}
+}
+
+func TestSynchronousIterationDescendsBoxes(t *testing.T) {
+	// The ACO payoff in miniature: iterates from anywhere in D(0) sink
+	// monotonically through the chain into the bottom box.
+	alg, adj, boxes := build(t)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 40; trial++ {
+		x := boxes.Sample(rng, 0)
+		level := boxes.Level(x)
+		for it := 0; it < 50; it++ {
+			x = matrix.Sigma[algebras.NatInf](alg, adj, x)
+			nl := boxes.Level(x)
+			if nl < level {
+				t.Fatalf("trial %d: level regressed %d → %d", trial, level, nl)
+			}
+			level = nl
+			if level == boxes.Levels()-1 {
+				break
+			}
+		}
+		if level != boxes.Levels()-1 {
+			t.Fatalf("trial %d: never reached the bottom box", trial)
+		}
+		if !x.Equal(alg, boxes.Fixed) {
+			t.Fatalf("trial %d: bottom box member is not X*", trial)
+		}
+	}
+}
+
+func TestLevelAndContains(t *testing.T) {
+	alg, _, boxes := build(t)
+	// X* is in every box.
+	if boxes.Level(boxes.Fixed) != boxes.Levels()-1 {
+		t.Error("fixed point must be at the bottom level")
+	}
+	// A maximally distant state sits at level 0 only (unless it happens
+	// to coincide deeper, which an all-0 state will not here).
+	worst := matrix.NewState[algebras.NatInf](4, 0)
+	if boxes.Contains(boxes.Levels()-1, worst) {
+		t.Error("an all-trivial garbage state cannot be the fixed point")
+	}
+	_ = alg
+}
+
+func TestRadiiStrictlyDescending(t *testing.T) {
+	_, _, boxes := build(t)
+	for k := 0; k+1 < len(boxes.Radii); k++ {
+		if boxes.Radii[k] <= boxes.Radii[k+1] {
+			t.Fatalf("radii not strictly descending: %v", boxes.Radii)
+		}
+	}
+	if boxes.Radii[len(boxes.Radii)-1] != 0 {
+		t.Error("chain must end at radius 0")
+	}
+}
+
+func TestVerifyCatchesNonContractingOperator(t *testing.T) {
+	// Control: wire the boxes to the WRONG fixed point and the shrink
+	// check must fail.
+	alg, adj := ripNet()
+	m := ultrametric.NewDV[algebras.NatInf](alg, alg.Universe())
+	bogus := matrix.NewState[algebras.NatInf](4, 3) // not a fixed point
+	boxes := Build[algebras.NatInf](alg, m, alg.Universe(), bogus)
+	rng := rand.New(rand.NewSource(9))
+	rep := Verify[algebras.NatInf](boxes, adj, rng, 40)
+	if rep.OK() {
+		t.Fatal("ACO verification must fail around a non-fixed point")
+	}
+}

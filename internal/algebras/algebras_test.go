@@ -1,0 +1,281 @@
+package algebras
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestNatInfArithmetic(t *testing.T) {
+	if Inf.Add(1) != Inf || NatInf(1).Add(Inf) != Inf {
+		t.Error("Inf must absorb addition")
+	}
+	if NatInf(2).Add(3) != 5 {
+		t.Error("2+3 != 5")
+	}
+	if got := (Inf - 1).Add(Inf - 1); got != Inf {
+		t.Errorf("near-overflow addition must saturate, got %v", got)
+	}
+	if NatInf(7).Min(3) != 3 || NatInf(7).Max(3) != 7 {
+		t.Error("Min/Max broken")
+	}
+	if Inf.String() != "∞" || NatInf(4).String() != "4" {
+		t.Error("String broken")
+	}
+}
+
+func natSample() []NatInf {
+	return []NatInf{0, 1, 2, 3, 5, 10, 100, Inf}
+}
+
+func TestShortestPathsLaws(t *testing.T) {
+	alg := ShortestPaths{}
+	s := core.Sample[NatInf]{
+		Routes: natSample(),
+		Edges:  []core.Edge[NatInf]{alg.AddEdge(1), alg.AddEdge(3)},
+	}
+	if err := core.CheckRequired[NatInf](alg, s); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []core.Property{core.Increasing, core.StrictlyIncreasing, core.Distributive} {
+		if rep := core.Check[NatInf](alg, p, s); !rep.Holds {
+			t.Errorf("shortest paths should satisfy %s: %s", p, rep.Counterexample)
+		}
+	}
+}
+
+func TestShortestPathsZeroWeightNotStrict(t *testing.T) {
+	alg := ShortestPaths{}
+	s := core.Sample[NatInf]{Routes: natSample(), Edges: []core.Edge[NatInf]{alg.AddEdge(0)}}
+	if rep := core.Check[NatInf](alg, core.StrictlyIncreasing, s); rep.Holds {
+		t.Error("zero-weight edges must fail strict increase")
+	}
+}
+
+func TestLongestPathsLaws(t *testing.T) {
+	alg := LongestPaths{}
+	s := core.Sample[NatInf]{
+		Routes: natSample(),
+		Edges:  []core.Edge[NatInf]{alg.AddEdge(1), alg.AddEdge(2)},
+	}
+	if err := core.CheckRequired[NatInf](alg, s); err != nil {
+		t.Fatal(err)
+	}
+	// The canonical non-increasing algebra: adding weight improves a route.
+	if rep := core.Check[NatInf](alg, core.Increasing, s); rep.Holds {
+		t.Error("longest paths must NOT be increasing")
+	}
+	if rep := core.Check[NatInf](alg, core.Distributive, s); !rep.Holds {
+		t.Errorf("longest paths distributes: %s", rep.Counterexample)
+	}
+	// Table 2 distinguished elements are swapped.
+	if alg.Trivial() != Inf || alg.Invalid() != 0 {
+		t.Error("longest paths: 0 must be numeric ∞ and ∞ numeric 0")
+	}
+}
+
+func TestWidestPathsLaws(t *testing.T) {
+	alg := WidestPaths{}
+	s := core.Sample[NatInf]{
+		Routes: natSample(),
+		Edges:  []core.Edge[NatInf]{alg.CapEdge(5), alg.CapEdge(50)},
+	}
+	if err := core.CheckRequired[NatInf](alg, s); err != nil {
+		t.Fatal(err)
+	}
+	if rep := core.Check[NatInf](alg, core.Increasing, s); !rep.Holds {
+		t.Errorf("widest paths is increasing: %s", rep.Counterexample)
+	}
+	// Not strictly: capping above the current width is a no-op.
+	if rep := core.Check[NatInf](alg, core.StrictlyIncreasing, s); rep.Holds {
+		t.Error("widest paths must not be strictly increasing")
+	}
+	if rep := core.Check[NatInf](alg, core.Distributive, s); !rep.Holds {
+		t.Errorf("widest paths distributes: %s", rep.Counterexample)
+	}
+}
+
+func TestMostReliableLaws(t *testing.T) {
+	alg := MostReliable{}
+	// Dyadic probabilities keep float products exact.
+	s := core.Sample[float64]{
+		Routes: []float64{0, 0.25, 0.5, 0.75, 1},
+		Edges:  []core.Edge[float64]{alg.MulEdge(0.5), alg.MulEdge(0.25)},
+	}
+	if err := core.CheckRequired[float64](alg, s); err != nil {
+		t.Fatal(err)
+	}
+	if rep := core.Check[float64](alg, core.StrictlyIncreasing, s); !rep.Holds {
+		t.Errorf("×s with s<1 is strictly increasing: %s", rep.Counterexample)
+	}
+	// Multiplying by 1 is not strictly increasing.
+	s.Edges = []core.Edge[float64]{alg.MulEdge(1)}
+	if rep := core.Check[float64](alg, core.StrictlyIncreasing, s); rep.Holds {
+		t.Error("×1 must fail strict increase")
+	}
+	if rep := core.Check[float64](alg, core.Increasing, s); !rep.Holds {
+		t.Errorf("×1 is still increasing: %s", rep.Counterexample)
+	}
+}
+
+func TestHopCountUniverse(t *testing.T) {
+	alg := RIP()
+	u := alg.Universe()
+	if len(u) != 17 { // 0..15 plus ∞
+		t.Fatalf("RIP universe has %d elements, want 17", len(u))
+	}
+	seen := map[NatInf]bool{}
+	for _, r := range u {
+		if seen[r] {
+			t.Errorf("duplicate %v in universe", r)
+		}
+		seen[r] = true
+	}
+	if !seen[0] || !seen[15] || !seen[Inf] {
+		t.Error("universe missing distinguished elements")
+	}
+}
+
+func TestHopCountClamping(t *testing.T) {
+	alg := RIP()
+	e := alg.AddEdge(1)
+	if got := e.Apply(15); got != Inf {
+		t.Errorf("15+1 must clamp to ∞, got %v", got)
+	}
+	if got := e.Apply(14); got != 15 {
+		t.Errorf("14+1 = %v", got)
+	}
+	if !alg.Equal(16, Inf) {
+		t.Error("out-of-range distances must equal ∞")
+	}
+}
+
+func TestHopCountTheorem7Preconditions(t *testing.T) {
+	alg := RIP()
+	s := core.UniverseSample[NatInf](alg, alg, []core.Edge[NatInf]{
+		alg.AddEdge(1), alg.AddEdge(2),
+		alg.ConditionalEdge(1, DistanceAtMost(7)),
+	})
+	if err := core.CheckRequired[NatInf](alg, s); err != nil {
+		t.Fatal(err)
+	}
+	if rep := core.Check[NatInf](alg, core.StrictlyIncreasing, s); !rep.Holds {
+		t.Fatalf("bounded hop count with filtering is strictly increasing: %s", rep.Counterexample)
+	}
+}
+
+func TestConditionalEdgeBreaksDistributivityKeepsStrictIncrease(t *testing.T) {
+	alg := RIP()
+	s := core.UniverseSample[NatInf](alg, alg, []core.Edge[NatInf]{
+		alg.ConditionalEdge(1, DistanceEven()),
+	})
+	if rep := core.Check[NatInf](alg, core.Distributive, s); rep.Holds {
+		t.Error("parity filtering must break distributivity")
+	}
+	if rep := core.Check[NatInf](alg, core.StrictlyIncreasing, s); !rep.Holds {
+		t.Errorf("parity filtering stays strictly increasing: %s", rep.Counterexample)
+	}
+}
+
+func TestLexProductLaws(t *testing.T) {
+	// Stratified shortest paths: levels (bounded) over hop count.
+	levels := HopCount{Limit: 3}
+	hops := HopCount{Limit: 7}
+	lex := NewLex[NatInf, NatInf](levels, hops)
+	edges := []core.Edge[Pair[NatInf, NatInf]]{
+		lex.Edge(levels.AddEdge(0), hops.AddEdge(1)), // same level, +1 hop
+		lex.Edge(levels.AddEdge(1), hops.AddEdge(1)), // up a level
+	}
+	s := core.Sample[Pair[NatInf, NatInf]]{Routes: lex.Universe(), Edges: edges}
+	if err := core.CheckRequired[Pair[NatInf, NatInf]](lex, s); err != nil {
+		t.Fatal(err)
+	}
+	if rep := core.Check[Pair[NatInf, NatInf]](lex, core.StrictlyIncreasing, s); !rep.Holds {
+		t.Fatalf("stratified shortest paths is strictly increasing: %s", rep.Counterexample)
+	}
+}
+
+func TestLexNormalisation(t *testing.T) {
+	levels := HopCount{Limit: 3}
+	hops := HopCount{Limit: 7}
+	lex := NewLex[NatInf, NatInf](levels, hops)
+	weird := Pair[NatInf, NatInf]{First: Inf, Second: 3}
+	if !lex.Equal(weird, lex.Invalid()) {
+		t.Error("invalid first component must normalise to ∞")
+	}
+	if got := lex.Format(weird); got != "(∞,∞)" {
+		t.Errorf("Format(weird) = %s", got)
+	}
+}
+
+func TestLexUniverseSize(t *testing.T) {
+	levels := HopCount{Limit: 1} // {0,1,∞}
+	hops := HopCount{Limit: 2}   // {0,1,2,∞}
+	lex := NewLex[NatInf, NatInf](levels, hops)
+	u := lex.Universe()
+	// Invalid + (valid levels: 2) × (all hops incl ∞: 4) = 1 + 8.
+	if len(u) != 9 {
+		t.Errorf("universe size %d, want 9", len(u))
+	}
+}
+
+func TestChoicePropertiesQuick(t *testing.T) {
+	alg := ShortestPaths{}
+	cfg := &quick.Config{
+		MaxCount: 5000,
+		Rand:     rand.New(rand.NewSource(7)),
+		Values: func(vs []reflect.Value, rng *rand.Rand) {
+			for i := range vs {
+				vs[i] = reflect.ValueOf(randNat(rng))
+			}
+		},
+	}
+	comm := func(a, b NatInf) bool { return alg.Choice(a, b) == alg.Choice(b, a) }
+	sel := func(a, b NatInf) bool { c := alg.Choice(a, b); return c == a || c == b }
+	assoc := func(a, b, c NatInf) bool {
+		return alg.Choice(a, alg.Choice(b, c)) == alg.Choice(alg.Choice(a, b), c)
+	}
+	for name, fn := range map[string]any{"commutative": comm, "selective": sel, "associative": assoc} {
+		if err := quick.Check(fn, cfg); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func randNat(rng *rand.Rand) NatInf {
+	if rng.Intn(5) == 0 {
+		return Inf
+	}
+	return NatInf(rng.Int63n(1 << 40))
+}
+
+func TestMEDNonAssociative(t *testing.T) {
+	// Section 7: "the implementation of the MED attribute gives rise to
+	// an ⊕ that is not associative". Verify the canonical triangle and
+	// that the Table 1 checker catches it.
+	alg := MED{}
+	a, b, c := alg.AssociativityCounterexample()
+	l := alg.Choice(a, alg.Choice(b, c))
+	r := alg.Choice(alg.Choice(a, b), c)
+	if alg.Equal(l, r) {
+		t.Fatalf("counterexample did not fire: both orders give %s", alg.Format(l))
+	}
+	s := core.Sample[MEDRoute]{
+		Routes: []MEDRoute{a, b, c, alg.Trivial(), alg.Invalid()},
+		Edges:  []core.Edge[MEDRoute]{alg.Edge(1, 0, 1), alg.Edge(2, 0, 1)},
+	}
+	if rep := core.Check[MEDRoute](alg, core.Associative, s); rep.Holds {
+		t.Error("checker must reject MED associativity")
+	}
+	// Selectivity and commutativity still hold — MED's failure is
+	// specifically associativity.
+	if rep := core.Check[MEDRoute](alg, core.Selective, s); !rep.Holds {
+		t.Errorf("MED choice is still selective: %s", rep.Counterexample)
+	}
+	if rep := core.Check[MEDRoute](alg, core.Commutative, s); !rep.Holds {
+		t.Errorf("MED choice is still commutative: %s", rep.Counterexample)
+	}
+}

@@ -1,0 +1,124 @@
+package algebras
+
+import "repro/internal/core"
+
+// This file packages the lexicographic products the paper's discussion
+// leans on: shortest-widest paths (the Section 8.1 example of an
+// increasing, non-distributive algebra that nevertheless converges
+// quickly) and stratified shortest paths (the Griffin 2012 algebra that
+// Section 7 cites as a subset of the safe-by-design language).
+
+// ShortestWidest is the widest-then-shortest lexicographic product: pick
+// the widest route, breaking bandwidth ties with hop count. The
+// bandwidth component is only weakly increasing (capping above the
+// current width is a no-op) while the hop component strictly increases,
+// so the product is strictly increasing — Section 8.1's observation that
+// it therefore converges fast despite non-distributivity.
+type ShortestWidest struct {
+	lex Lex[NatInf, NatInf]
+	// HopLimit bounds the hop-count coordinate, keeping the carrier
+	// finite for Theorem 7.
+	HopLimit NatInf
+}
+
+// NewShortestWidest builds the algebra with the given hop bound.
+func NewShortestWidest(hopLimit NatInf) ShortestWidest {
+	return ShortestWidest{
+		lex:      NewLex[NatInf, NatInf](WidestPaths{}, HopCount{Limit: hopLimit}),
+		HopLimit: hopLimit,
+	}
+}
+
+// SWRoute is a shortest-widest route: bottleneck bandwidth plus hops.
+type SWRoute = Pair[NatInf, NatInf]
+
+// Choice implements ⊕.
+func (a ShortestWidest) Choice(x, y SWRoute) SWRoute { return a.lex.Choice(x, y) }
+
+// Trivial implements 0: infinite bandwidth, zero hops.
+func (a ShortestWidest) Trivial() SWRoute { return a.lex.Trivial() }
+
+// Invalid implements ∞: zero bandwidth.
+func (a ShortestWidest) Invalid() SWRoute { return a.lex.Invalid() }
+
+// Equal implements route equality.
+func (a ShortestWidest) Equal(x, y SWRoute) bool { return a.lex.Equal(x, y) }
+
+// Format implements route rendering.
+func (a ShortestWidest) Format(r SWRoute) string { return a.lex.Format(r) }
+
+// Edge returns the weight of a link with capacity cap: bandwidth is
+// capped, hop count increments.
+func (a ShortestWidest) Edge(capacity NatInf) core.Edge[SWRoute] {
+	w := WidestPaths{}
+	h := HopCount{Limit: a.HopLimit}
+	return a.lex.Edge(w.CapEdge(capacity), h.AddEdge(1))
+}
+
+// Universe implements core.Enumerable over the bandwidths that occur in a
+// network; callers pass the distinct capacities (0 and ∞ are added).
+func (a ShortestWidest) UniverseOver(capacities []NatInf) []SWRoute {
+	bw := append([]NatInf{Inf}, capacities...)
+	var out []SWRoute
+	out = append(out, a.Invalid())
+	hops := HopCount{Limit: a.HopLimit}.Universe()
+	for _, b := range bw {
+		if b == 0 {
+			continue
+		}
+		for _, h := range hops {
+			out = append(out, SWRoute{First: b, Second: h})
+		}
+	}
+	return out
+}
+
+// Stratified is the stratified shortest-paths algebra (Griffin 2012):
+// an administrative level dominates, hop count breaks ties. Levels model
+// "stratified" policy classes — e.g. customer routes below peer routes
+// below provider routes — which is exactly how gaorexford embeds into the
+// framework.
+type Stratified struct {
+	lex Lex[NatInf, NatInf]
+	// Levels is the number of strata; HopLimit bounds hops.
+	Levels, HopLimit NatInf
+}
+
+// NewStratified builds the algebra.
+func NewStratified(levels, hopLimit NatInf) Stratified {
+	return Stratified{
+		lex:      NewLex[NatInf, NatInf](HopCount{Limit: levels}, HopCount{Limit: hopLimit}),
+		Levels:   levels,
+		HopLimit: hopLimit,
+	}
+}
+
+// StratRoute is a stratified route: (level, hops).
+type StratRoute = Pair[NatInf, NatInf]
+
+// Choice implements ⊕.
+func (a Stratified) Choice(x, y StratRoute) StratRoute { return a.lex.Choice(x, y) }
+
+// Trivial implements 0: level 0, zero hops.
+func (a Stratified) Trivial() StratRoute { return a.lex.Trivial() }
+
+// Invalid implements ∞.
+func (a Stratified) Invalid() StratRoute { return a.lex.Invalid() }
+
+// Equal implements route equality.
+func (a Stratified) Equal(x, y StratRoute) bool { return a.lex.Equal(x, y) }
+
+// Format implements route rendering.
+func (a Stratified) Format(r StratRoute) string { return a.lex.Format(r) }
+
+// Universe implements core.Enumerable.
+func (a Stratified) Universe() []StratRoute { return a.lex.Universe() }
+
+// Edge returns a link weight that raises the level by levelUp (0 keeps
+// the stratum) and adds one hop. Any positive levelUp or the hop
+// increment keeps it strictly increasing.
+func (a Stratified) Edge(levelUp NatInf) core.Edge[StratRoute] {
+	lv := HopCount{Limit: a.Levels}
+	h := HopCount{Limit: a.HopLimit}
+	return a.lex.Edge(lv.AddEdge(levelUp), h.AddEdge(1))
+}

@@ -1,0 +1,117 @@
+package algebras
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+func TestShortestWidestLaws(t *testing.T) {
+	alg := NewShortestWidest(7)
+	routes := alg.UniverseOver([]NatInf{1, 3, 5})
+	edges := []core.Edge[SWRoute]{alg.Edge(3), alg.Edge(5), alg.Edge(1)}
+	s := core.Sample[SWRoute]{Routes: routes, Edges: edges}
+	if err := core.CheckRequired[SWRoute](alg, s); err != nil {
+		t.Fatal(err)
+	}
+	// The Section 8.1 point: strictly increasing (hops always grow) yet
+	// NOT distributive.
+	if rep := core.Check[SWRoute](alg, core.StrictlyIncreasing, s); !rep.Holds {
+		t.Fatalf("shortest-widest must be strictly increasing: %s", rep.Counterexample)
+	}
+	if rep := core.Check[SWRoute](alg, core.Distributive, s); rep.Holds {
+		t.Error("shortest-widest must not distribute")
+	}
+}
+
+func TestShortestWidestSolves(t *testing.T) {
+	// 0 —10— 1 —10— 2 and direct 0 —7— 2: widest-first picks the two-hop
+	// bandwidth-10 route over the one-hop bandwidth-7 route.
+	alg := NewShortestWidest(7)
+	adj := matrix.NewAdjacency[SWRoute](3)
+	link := func(i, j int, c NatInf) {
+		adj.SetEdge(i, j, alg.Edge(c))
+		adj.SetEdge(j, i, alg.Edge(c))
+	}
+	link(0, 1, 10)
+	link(1, 2, 10)
+	link(0, 2, 7)
+	fp, _, ok := matrix.FixedPoint[SWRoute](alg, adj, matrix.Identity[SWRoute](alg, 3), 50)
+	if !ok {
+		t.Fatal("must converge")
+	}
+	got := fp.Get(0, 2)
+	if got.First != 10 || got.Second != 2 {
+		t.Errorf("0→2 = %s, want bandwidth 10 over 2 hops", alg.Format(got))
+	}
+	// With equal bandwidths the hop count must break the tie toward the
+	// direct link.
+	adj2 := matrix.NewAdjacency[SWRoute](3)
+	link2 := func(i, j int, c NatInf) {
+		adj2.SetEdge(i, j, alg.Edge(c))
+		adj2.SetEdge(j, i, alg.Edge(c))
+	}
+	link2(0, 1, 10)
+	link2(1, 2, 10)
+	link2(0, 2, 10)
+	fp2, _, _ := matrix.FixedPoint[SWRoute](alg, adj2, matrix.Identity[SWRoute](alg, 3), 50)
+	if got := fp2.Get(0, 2); got.Second != 1 {
+		t.Errorf("equal bandwidth: want the 1-hop route, got %s", alg.Format(got))
+	}
+}
+
+func TestStratifiedLaws(t *testing.T) {
+	alg := NewStratified(3, 7)
+	s := core.Sample[StratRoute]{
+		Routes: alg.Universe(),
+		Edges:  []core.Edge[StratRoute]{alg.Edge(0), alg.Edge(1), alg.Edge(2)},
+	}
+	if err := core.CheckRequired[StratRoute](alg, s); err != nil {
+		t.Fatal(err)
+	}
+	if rep := core.Check[StratRoute](alg, core.StrictlyIncreasing, s); !rep.Holds {
+		t.Fatalf("stratified shortest paths must be strictly increasing: %s", rep.Counterexample)
+	}
+}
+
+func TestStratifiedLevelDominates(t *testing.T) {
+	alg := NewStratified(3, 7)
+	// A long level-0 route beats a short level-1 route.
+	long := StratRoute{First: 0, Second: 6}
+	short := StratRoute{First: 1, Second: 1}
+	if !alg.Equal(alg.Choice(long, short), long) {
+		t.Error("lower stratum must dominate hop count")
+	}
+}
+
+func TestStratifiedConvergesAbsolutely(t *testing.T) {
+	alg := NewStratified(2, 7)
+	adj := matrix.NewAdjacency[StratRoute](4)
+	ups := []NatInf{0, 1, 0, 2, 0, 1, 0, 1}
+	k := 0
+	for i := 0; i < 4; i++ {
+		j := (i + 1) % 4
+		adj.SetEdge(i, j, alg.Edge(ups[k]))
+		k++
+		adj.SetEdge(j, i, alg.Edge(ups[k]))
+		k++
+	}
+	want, _, ok := matrix.FixedPoint[StratRoute](alg, adj, matrix.Identity[StratRoute](alg, 4), 100)
+	if !ok {
+		t.Fatal("must converge")
+	}
+	// From every universe-valued state.
+	u := alg.Universe()
+	for seed := int64(0); seed < 10; seed++ {
+		rng := newRng(seed)
+		start := matrix.RandomStateFrom(rng, 4, u)
+		got, _, ok := matrix.FixedPoint[StratRoute](alg, adj, start, 300)
+		if !ok || !got.Equal(alg, want) {
+			t.Fatalf("seed %d: absolute convergence failed", seed)
+		}
+	}
+}
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,105 @@
+package algebras
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// HopCount is the RIP-style bounded shortest-paths algebra: distances range
+// over {0, 1, ..., Limit} ∪ {∞}, and any distance that would exceed Limit
+// becomes invalid. RIP uses Limit = 15 (16 counts as unreachable). The
+// carrier is finite, so with weights ≥ 1 the algebra satisfies every
+// precondition of Theorem 7 and converges absolutely even from states full
+// of stale garbage — this is experiment E5.
+type HopCount struct {
+	// Limit is the largest representable distance; larger becomes ∞.
+	Limit NatInf
+}
+
+// RIP returns the classic hop-count algebra with limit 15.
+func RIP() HopCount { return HopCount{Limit: 15} }
+
+// clamp maps out-of-range distances to ∞.
+func (h HopCount) clamp(a NatInf) NatInf {
+	if a.IsInf() || a > h.Limit {
+		return Inf
+	}
+	return a
+}
+
+// Choice implements ⊕ = min.
+func (h HopCount) Choice(a, b NatInf) NatInf { return h.clamp(a).Min(h.clamp(b)) }
+
+// Trivial implements 0.
+func (HopCount) Trivial() NatInf { return 0 }
+
+// Invalid implements ∞.
+func (HopCount) Invalid() NatInf { return Inf }
+
+// Equal implements route equality (distances beyond the limit are all ∞).
+func (h HopCount) Equal(a, b NatInf) bool { return h.clamp(a) == h.clamp(b) }
+
+// Format implements route rendering.
+func (h HopCount) Format(r NatInf) string { return h.clamp(r).String() }
+
+// Universe implements core.Enumerable: the full finite carrier.
+func (h HopCount) Universe() []NatInf {
+	out := make([]NatInf, 0, int(h.Limit)+2)
+	for d := NatInf(0); d <= h.Limit; d++ {
+		out = append(out, d)
+	}
+	return append(out, Inf)
+}
+
+// AddEdge returns f_w(a) = w + a, clamped to ∞ beyond the limit. With
+// w ≥ 1 the edge is strictly increasing.
+func (h HopCount) AddEdge(w NatInf) core.Edge[NatInf] {
+	return core.Fn[NatInf](fmt.Sprintf("+%s", w), func(a NatInf) NatInf {
+		return h.clamp(h.clamp(a).Add(w))
+	})
+}
+
+// FilterPredicate is a condition evaluated against a route by a conditional
+// policy edge, mirroring the predicate P of Equation 2.
+type FilterPredicate struct {
+	Name string
+	Test func(NatInf) bool
+}
+
+// ConditionalEdge returns the route-map edge of Equation 2 specialised to
+// filtering: f(a) = if P(a) then (w + a) else ∞. Such edges are what makes
+// a distance-vector protocol "policy rich": they violate distributivity
+// (experiment E1 exhibits the counterexample automatically) while remaining
+// strictly increasing, so Theorem 7 still guarantees convergence.
+func (h HopCount) ConditionalEdge(w NatInf, p FilterPredicate) core.Edge[NatInf] {
+	name := fmt.Sprintf("if %s then +%s else ∞", p.Name, w)
+	return core.Fn[NatInf](name, func(a NatInf) NatInf {
+		a = h.clamp(a)
+		if a.IsInf() {
+			return Inf
+		}
+		if !p.Test(a) {
+			return Inf
+		}
+		return h.clamp(a.Add(w))
+	})
+}
+
+// DistanceAtMost is the predicate "route is no longer than k", a typical
+// filtering condition.
+func DistanceAtMost(k NatInf) FilterPredicate {
+	return FilterPredicate{
+		Name: fmt.Sprintf("d≤%s", k),
+		Test: func(a NatInf) bool { return a <= k },
+	}
+}
+
+// DistanceEven is a deliberately quirky predicate used by tests to build
+// distributivity counterexamples.
+func DistanceEven() FilterPredicate {
+	return FilterPredicate{
+		Name: "even(d)",
+		Test: func(a NatInf) bool { return a%2 == 0 },
+	}
+}

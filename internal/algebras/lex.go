@@ -1,0 +1,119 @@
+package algebras
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Pair is a route of a lexicographic product algebra.
+type Pair[A, B any] struct {
+	First  A
+	Second B
+}
+
+// Lex is the lexicographic product of two routing algebras: routes are
+// pairs, choice compares the first component and breaks ties with the
+// second, and the distinguished elements are the componentwise ones. A
+// route whose first component is invalid is normalised to the fully
+// invalid pair, which keeps ∞ unique.
+//
+// Lexicographic products are the standard way of building policy-rich
+// preference structures: the stratified shortest-paths algebra of Griffin
+// (2012), which Section 7 cites as a subset of its safe-by-design algebra,
+// is Lex(levels, shortest-paths).
+type Lex[A, B any] struct {
+	A core.Algebra[A]
+	B core.Algebra[B]
+}
+
+// NewLex builds the lexicographic product of a and b.
+func NewLex[A, B any](a core.Algebra[A], b core.Algebra[B]) Lex[A, B] {
+	return Lex[A, B]{A: a, B: b}
+}
+
+// normalise collapses any pair with an invalid first component to ∞.
+func (l Lex[A, B]) normalise(p Pair[A, B]) Pair[A, B] {
+	if core.IsInvalid(l.A, p.First) {
+		return Pair[A, B]{First: l.A.Invalid(), Second: l.B.Invalid()}
+	}
+	return p
+}
+
+// Choice implements lexicographic ⊕.
+func (l Lex[A, B]) Choice(a, b Pair[A, B]) Pair[A, B] {
+	a, b = l.normalise(a), l.normalise(b)
+	if !l.A.Equal(a.First, b.First) {
+		if core.Less(l.A, a.First, b.First) {
+			return a
+		}
+		return b
+	}
+	if core.Leq(l.B, a.Second, b.Second) {
+		return a
+	}
+	return b
+}
+
+// Trivial implements 0 = (0_A, 0_B).
+func (l Lex[A, B]) Trivial() Pair[A, B] {
+	return Pair[A, B]{First: l.A.Trivial(), Second: l.B.Trivial()}
+}
+
+// Invalid implements ∞ = (∞_A, ∞_B).
+func (l Lex[A, B]) Invalid() Pair[A, B] {
+	return Pair[A, B]{First: l.A.Invalid(), Second: l.B.Invalid()}
+}
+
+// Equal implements route equality, after normalisation.
+func (l Lex[A, B]) Equal(a, b Pair[A, B]) bool {
+	a, b = l.normalise(a), l.normalise(b)
+	return l.A.Equal(a.First, b.First) && l.B.Equal(a.Second, b.Second)
+}
+
+// Format implements route rendering.
+func (l Lex[A, B]) Format(p Pair[A, B]) string {
+	p = l.normalise(p)
+	return fmt.Sprintf("(%s,%s)", l.A.Format(p.First), l.B.Format(p.Second))
+}
+
+// Edge combines an edge of A and an edge of B componentwise. If either
+// component of the result is invalid, the whole pair becomes ∞; this keeps
+// "∞ is a fixed point of F" and makes filtering in either coordinate kill
+// the route.
+func (l Lex[A, B]) Edge(fa core.Edge[A], fb core.Edge[B]) core.Edge[Pair[A, B]] {
+	name := fmt.Sprintf("(%s,%s)", fa.Label(), fb.Label())
+	return core.Fn[Pair[A, B]](name, func(p Pair[A, B]) Pair[A, B] {
+		p = l.normalise(p)
+		if core.IsInvalid(l.A, p.First) {
+			return l.Invalid()
+		}
+		q := Pair[A, B]{First: fa.Apply(p.First), Second: fb.Apply(p.Second)}
+		if core.IsInvalid(l.A, q.First) || core.IsInvalid(l.B, q.Second) {
+			return l.Invalid()
+		}
+		return q
+	})
+}
+
+// Universe implements core.Enumerable when both components are enumerable;
+// it panics otherwise. Pairs with an invalid first component collapse to ∞
+// so the universe contains a single invalid element.
+func (l Lex[A, B]) Universe() []Pair[A, B] {
+	ea, okA := any(l.A).(core.Enumerable[A])
+	eb, okB := any(l.B).(core.Enumerable[B])
+	if !okA || !okB {
+		panic("algebras: Lex.Universe requires both component algebras to be Enumerable")
+	}
+	var out []Pair[A, B]
+	out = append(out, l.Invalid())
+	for _, a := range ea.Universe() {
+		if core.IsInvalid(l.A, a) {
+			continue
+		}
+		for _, b := range eb.Universe() {
+			out = append(out, Pair[A, B]{First: a, Second: b})
+		}
+	}
+	return out
+}

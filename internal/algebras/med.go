@@ -1,0 +1,105 @@
+package algebras
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// MEDRoute models the BGP Multi-Exit Discriminator pathology the paper
+// cites in Section 7 (via Griffin & Wilfong's MED oscillation analysis):
+// MED values are compared only between routes learned from the same
+// neighbouring AS, which makes route selection *non-associative* — the
+// outcome of comparing three routes depends on the order the comparisons
+// happen.
+type MEDRoute struct {
+	Invalid bool
+	// Neighbor is the AS the route was learned from.
+	Neighbor int
+	// MED is compared only against routes with the same Neighbor.
+	MED NatInf
+	// Dist breaks ties between different neighbours.
+	Dist NatInf
+}
+
+// MED is the deliberately broken algebra: its ⊕ follows the BGP decision
+// rule "prefer lower MED among same-neighbour routes, otherwise lower
+// IGP distance". It exists so that the Table 1 checker can exhibit the
+// associativity failure mechanically — the reason the paper's Section 7
+// algebra simply ignores MED.
+type MED struct{}
+
+// Choice implements the (non-associative!) MED comparison.
+func (MED) Choice(a, b MEDRoute) MEDRoute {
+	switch {
+	case a.Invalid:
+		return b
+	case b.Invalid:
+		return a
+	}
+	if a.Neighbor == b.Neighbor {
+		// Same neighbour: MED decides, then distance.
+		switch {
+		case a.MED < b.MED:
+			return a
+		case b.MED < a.MED:
+			return b
+		}
+	}
+	// Different neighbours (or MED tie): IGP distance decides; break a
+	// full tie deterministically by neighbour id.
+	switch {
+	case a.Dist < b.Dist:
+		return a
+	case b.Dist < a.Dist:
+		return b
+	case a.Neighbor <= b.Neighbor:
+		return a
+	}
+	return b
+}
+
+// Trivial implements 0.
+func (MED) Trivial() MEDRoute { return MEDRoute{Neighbor: -1} }
+
+// Invalid implements ∞.
+func (MED) Invalid() MEDRoute { return MEDRoute{Invalid: true} }
+
+// Equal implements route equality.
+func (MED) Equal(a, b MEDRoute) bool {
+	if a.Invalid || b.Invalid {
+		return a.Invalid == b.Invalid
+	}
+	return a == b
+}
+
+// Format implements route rendering.
+func (MED) Format(r MEDRoute) string {
+	if r.Invalid {
+		return "∞"
+	}
+	return fmt.Sprintf("nbr%d/med%s/d%s", r.Neighbor, r.MED, r.Dist)
+}
+
+// Edge returns a hop from the given neighbour AS, setting the
+// advertised MED and adding IGP distance.
+func (MED) Edge(neighbor int, med, w NatInf) core.Edge[MEDRoute] {
+	name := fmt.Sprintf("med(nbr=%d,med=%s,+%s)", neighbor, med, w)
+	return core.Fn[MEDRoute](name, func(r MEDRoute) MEDRoute {
+		if r.Invalid {
+			return MEDRoute{Invalid: true}
+		}
+		return MEDRoute{Neighbor: neighbor, MED: med, Dist: r.Dist.Add(w)}
+	})
+}
+
+// AssociativityCounterexample returns three routes on which the MED rule
+// is order-dependent: the classic triangle where a beats b on MED, b
+// beats c on distance, and c beats a on distance. (Griffin & Wilfong's
+// oscillation instances are built from exactly this shape.)
+func (MED) AssociativityCounterexample() (a, b, c MEDRoute) {
+	a = MEDRoute{Neighbor: 1, MED: 0, Dist: 5}
+	b = MEDRoute{Neighbor: 1, MED: 1, Dist: 1}
+	c = MEDRoute{Neighbor: 2, MED: 0, Dist: 2}
+	return a, b, c
+}

@@ -1,0 +1,133 @@
+package algebras
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ShortestPaths is the (ℕ∞, min, F₊, 0, ∞) algebra of Table 2: routes are
+// distances, choice is min, edge weights add. It is distributive and, when
+// all edge weights are ≥ 1, strictly increasing — but its carrier is
+// infinite, so Theorem 7 does not apply and count-to-infinity is possible
+// from arbitrary states (Section 5 opening).
+type ShortestPaths struct{}
+
+// Choice implements ⊕ = min.
+func (ShortestPaths) Choice(a, b NatInf) NatInf { return a.Min(b) }
+
+// Trivial implements 0 = distance zero.
+func (ShortestPaths) Trivial() NatInf { return 0 }
+
+// Invalid implements ∞.
+func (ShortestPaths) Invalid() NatInf { return Inf }
+
+// Equal implements route equality.
+func (ShortestPaths) Equal(a, b NatInf) bool { return a == b }
+
+// Format implements route rendering.
+func (ShortestPaths) Format(r NatInf) string { return r.String() }
+
+// AddEdge returns the edge weight f_w(a) = w + a of the F₊ family.
+func (ShortestPaths) AddEdge(w NatInf) core.Edge[NatInf] {
+	return core.Fn[NatInf](fmt.Sprintf("+%s", w), func(a NatInf) NatInf {
+		return a.Add(w)
+	})
+}
+
+// LongestPaths is the (ℕ∞, max, F₊, ∞, 0) algebra of Table 2. Note the
+// swapped distinguished elements: the trivial (best) route is the numeric
+// infinity and the invalid route is 0. Longest paths is distributive but
+// NOT increasing — adding weight makes a route more preferred — so none of
+// the paper's convergence theorems apply to it; it appears in the Table 1
+// property matrix as the canonical non-increasing row.
+type LongestPaths struct{}
+
+// Choice implements ⊕ = max.
+func (LongestPaths) Choice(a, b NatInf) NatInf { return a.Max(b) }
+
+// Trivial implements 0 (the most preferred route), numerically ∞.
+func (LongestPaths) Trivial() NatInf { return Inf }
+
+// Invalid implements ∞ (the invalid route), numerically 0.
+func (LongestPaths) Invalid() NatInf { return 0 }
+
+// Equal implements route equality.
+func (LongestPaths) Equal(a, b NatInf) bool { return a == b }
+
+// Format implements route rendering.
+func (LongestPaths) Format(r NatInf) string { return r.String() }
+
+// AddEdge returns f_w(a) = w + a, fixed on the invalid route 0.
+func (LongestPaths) AddEdge(w NatInf) core.Edge[NatInf] {
+	return core.Fn[NatInf](fmt.Sprintf("+%s", w), func(a NatInf) NatInf {
+		if a == 0 {
+			return 0 // extending the invalid route stays invalid
+		}
+		return a.Add(w)
+	})
+}
+
+// WidestPaths is the (ℕ∞, max, F_min, 0, ∞) algebra of Table 2: a route is
+// the bottleneck bandwidth of a path, choice prefers larger bandwidth, and
+// an edge caps the bandwidth at its capacity. Widest paths is distributive
+// and increasing but not strictly increasing (an edge wider than the route
+// leaves it unchanged), which is why Section 8.1 singles it out.
+type WidestPaths struct{}
+
+// Choice implements ⊕ = max (wider is better).
+func (WidestPaths) Choice(a, b NatInf) NatInf { return a.Max(b) }
+
+// Trivial implements 0, the infinite-capacity self route.
+func (WidestPaths) Trivial() NatInf { return Inf }
+
+// Invalid implements ∞, the zero-capacity invalid route.
+func (WidestPaths) Invalid() NatInf { return 0 }
+
+// Equal implements route equality.
+func (WidestPaths) Equal(a, b NatInf) bool { return a == b }
+
+// Format implements route rendering.
+func (WidestPaths) Format(r NatInf) string { return r.String() }
+
+// CapEdge returns f_c(a) = min(c, a) of the F_min family.
+func (WidestPaths) CapEdge(c NatInf) core.Edge[NatInf] {
+	return core.Fn[NatInf](fmt.Sprintf("min(%s,·)", c), func(a NatInf) NatInf {
+		return a.Min(c)
+	})
+}
+
+// MostReliable is the ([0,1], max, F×, 1, 0) algebra of Table 2: a route is
+// the success probability of a path, choice prefers the more reliable
+// route, and an edge multiplies by its own reliability. With edge
+// reliabilities in (0, 1) it is strictly increasing; with reliability 1 it
+// is only increasing.
+type MostReliable struct{}
+
+// Choice implements ⊕ = max (more reliable is better).
+func (MostReliable) Choice(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Trivial implements 0 = probability 1.
+func (MostReliable) Trivial() float64 { return 1 }
+
+// Invalid implements ∞ = probability 0.
+func (MostReliable) Invalid() float64 { return 0 }
+
+// Equal implements route equality (exact: the experiments use dyadic
+// probabilities whose products are exact in binary floating point).
+func (MostReliable) Equal(a, b float64) bool { return a == b }
+
+// Format implements route rendering.
+func (MostReliable) Format(r float64) string { return fmt.Sprintf("%.6g", r) }
+
+// MulEdge returns f_s(a) = s × a of the F× family; s must lie in [0, 1].
+func (MostReliable) MulEdge(s float64) core.Edge[float64] {
+	return core.Fn[float64](fmt.Sprintf("×%.6g", s), func(a float64) float64 {
+		return s * a
+	})
+}

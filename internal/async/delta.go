@@ -1,0 +1,104 @@
+// Package async implements δ, the asynchronous counterpart of σ defined in
+// Section 3.1 of the paper, by literal evaluation over an explicit
+// schedule:
+//
+//	δ⁰(X)_ij = X_ij
+//	δᵗ(X)_ij = ⨁_k A_ik(δ^{β(t,i,k)}(X)_kj) ⊕ I_ij   if i ∈ α(t)
+//	         = δ^{t−1}(X)_ij                          otherwise
+//
+// The evaluator keeps the whole state history, so β may point anywhere in
+// the past — including times already read (duplication), out of order
+// (reordering) or never (loss). It also implements the convergence
+// definitions 6–8 as executable checks.
+package async
+
+import (
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/schedule"
+)
+
+// Run evaluates δ over the schedule and returns the full history
+// [δ⁰(X), δ¹(X), ..., δᵀ(X)].
+func Run[R any](
+	alg core.Algebra[R],
+	adj *matrix.Adjacency[R],
+	start *matrix.State[R],
+	sched *schedule.Schedule,
+) []*matrix.State[R] {
+	n := adj.N
+	history := make([]*matrix.State[R], sched.T+1)
+	history[0] = start.Clone()
+	for t := 1; t <= sched.T; t++ {
+		cur := history[t-1].Clone()
+		for i := 0; i < n; i++ {
+			if !sched.Active(t, i) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if i == j {
+					cur.Set(i, j, alg.Trivial())
+					continue
+				}
+				best := alg.Invalid()
+				for k := 0; k < n; k++ {
+					if k == i {
+						continue
+					}
+					if e, ok := adj.Edge(i, k); ok {
+						past := history[sched.Beta(t, i, k)]
+						best = alg.Choice(best, e.Apply(past.Get(k, j)))
+					}
+				}
+				cur.Set(i, j, best)
+			}
+		}
+		history[t] = cur
+	}
+	return history
+}
+
+// Final evaluates δ and returns only δᵀ(X).
+func Final[R any](
+	alg core.Algebra[R],
+	adj *matrix.Adjacency[R],
+	start *matrix.State[R],
+	sched *schedule.Schedule,
+) *matrix.State[R] {
+	h := Run(alg, adj, start, sched)
+	return h[len(h)-1]
+}
+
+// ConvergenceTime returns the earliest t such that the history is constant
+// from t onwards and the state at t is a fixed point of σ, or (0, false)
+// if the run never settles. This is Definition 6 restricted to the finite
+// horizon: for the run to count as converged the settled state must be
+// σ-stable, not merely unchanged because the schedule went quiet.
+func ConvergenceTime[R any](
+	alg core.Algebra[R],
+	adj *matrix.Adjacency[R],
+	history []*matrix.State[R],
+) (int, bool) {
+	last := history[len(history)-1]
+	if !matrix.IsStable(alg, adj, last) {
+		return 0, false
+	}
+	t := len(history) - 1
+	for t > 0 && history[t-1].Equal(alg, last) {
+		t--
+	}
+	return t, true
+}
+
+// Converged reports whether the δ-run over sched from start reaches the
+// expected fixed point and stays there.
+func Converged[R any](
+	alg core.Algebra[R],
+	adj *matrix.Adjacency[R],
+	start *matrix.State[R],
+	sched *schedule.Schedule,
+	want *matrix.State[R],
+) bool {
+	final := Final(alg, adj, start, sched)
+	return final.Equal(alg, want)
+}

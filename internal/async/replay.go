@@ -1,0 +1,28 @@
+package async
+
+import (
+	"repro/internal/schedule"
+	"repro/internal/simulate"
+)
+
+// FromLog converts the (α, β) log extracted from a simulator run into an
+// explicit Schedule for the literal δ evaluator: activation t of the log
+// becomes time t with α(t) = {node}, and β(t, node, k) is the logical
+// step at which the data node used from k was computed. This is the
+// paper's factorisation made concrete — the same asynchronous execution,
+// once as a message-passing run and once as a schedule-driven iteration.
+func FromLog(log *simulate.ScheduleLog) *schedule.Schedule {
+	s := schedule.New(log.N, len(log.Entries))
+	for idx, e := range log.Entries {
+		t := idx + 1
+		s.SetActive(t, e.Node, true)
+		for k := 0; k < log.N; k++ {
+			b := e.Beta[k]
+			if b >= t { // defensive: S2 demands strictly earlier data
+				b = t - 1
+			}
+			s.SetBeta(t, e.Node, k, b)
+		}
+	}
+	return s
+}

@@ -1,0 +1,118 @@
+// Package bisim implements the bisimulation argument sketched in Section
+// 8.4 of the paper: algebra A is bisimilar to algebra B when a surjective
+// route mapping h commutes with the protocol, i.e. h(σ_A(X)) = σ_B(h(X))
+// for all states X. If A converges absolutely then so does B, because
+// every σ_B trajectory is the image of a σ_A trajectory.
+//
+// The paper's motivating instance is hierarchical paths: real BGP routes
+// carry only the AS-level path (plus at most the router-level path inside
+// the current AS), so the path function required by Definition 14 does
+// not exist for them. Section 8.4's remedy is to exhibit a "shadow"
+// protocol that keeps the full router-level path — satisfying Theorem 11
+// — but never lets policy read the extra information, and to observe the
+// two protocols are bisimilar. This package provides both the generic
+// machinery (Check) and that concrete instance (ASPath, Shadow).
+package bisim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// Mapping is the route homomorphism h : A → B of a candidate
+// bisimulation.
+type Mapping[A, B any] func(A) B
+
+// Pair couples the two algebras, their adjacencies and the mapping. The
+// adjacencies must describe the same topology (same n, same edge set).
+type Pair[A, B any] struct {
+	AlgA core.Algebra[A]
+	AlgB core.Algebra[B]
+	AdjA *matrix.Adjacency[A]
+	AdjB *matrix.Adjacency[B]
+	H    Mapping[A, B]
+}
+
+// MapState applies h cellwise.
+func (p Pair[A, B]) MapState(x *matrix.State[A]) *matrix.State[B] {
+	out := matrix.NewState(x.N, p.AlgB.Invalid())
+	x.Each(func(i, j int, r A) { out.Set(i, j, p.H(r)) })
+	return out
+}
+
+// Report is the outcome of a bisimulation check.
+type Report struct {
+	// Commutes: h(σ_A(X)) = σ_B(h(X)) held for every state tried.
+	Commutes bool
+	// ChoicePreserved: h(a ⊕_A b) = h(a) ⊕_B h(b) for sampled routes.
+	ChoicePreserved bool
+	// SpecialsPreserved: h maps 0_A to 0_B and ∞_A to ∞_B.
+	SpecialsPreserved bool
+	Checked           int
+	Counterexample    string
+}
+
+// OK reports whether every facet of the bisimulation held.
+func (r Report) OK() bool { return r.Commutes && r.ChoicePreserved && r.SpecialsPreserved }
+
+func (r Report) String() string {
+	if r.OK() {
+		return fmt.Sprintf("bisimulation holds (%d cases)", r.Checked)
+	}
+	return fmt.Sprintf("commutes=%v choice=%v specials=%v: %s",
+		r.Commutes, r.ChoicePreserved, r.SpecialsPreserved, r.Counterexample)
+}
+
+// Check verifies the bisimulation over the supplied route sample and over
+// `states` random states drawn by gen, following each for `depth` σ
+// steps.
+func Check[A, B any](p Pair[A, B], routes []A, gen func(*rand.Rand, int, int) A, rng *rand.Rand, states, depth int) Report {
+	rep := Report{Commutes: true, ChoicePreserved: true, SpecialsPreserved: true}
+
+	if !p.AlgB.Equal(p.H(p.AlgA.Trivial()), p.AlgB.Trivial()) {
+		rep.SpecialsPreserved = false
+		rep.Counterexample = "h(0_A) ≠ 0_B"
+		return rep
+	}
+	if !p.AlgB.Equal(p.H(p.AlgA.Invalid()), p.AlgB.Invalid()) {
+		rep.SpecialsPreserved = false
+		rep.Counterexample = "h(∞_A) ≠ ∞_B"
+		return rep
+	}
+
+	for _, a := range routes {
+		for _, b := range routes {
+			rep.Checked++
+			l := p.H(p.AlgA.Choice(a, b))
+			r := p.AlgB.Choice(p.H(a), p.H(b))
+			if !p.AlgB.Equal(l, r) {
+				rep.ChoicePreserved = false
+				rep.Counterexample = fmt.Sprintf(
+					"h(%s ⊕ %s) = %s ≠ %s", p.AlgA.Format(a), p.AlgA.Format(b),
+					p.AlgB.Format(l), p.AlgB.Format(r))
+				return rep
+			}
+		}
+	}
+
+	n := p.AdjA.N
+	for s := 0; s < states; s++ {
+		x := matrix.RandomState(rng, n, gen)
+		for step := 0; step < depth; step++ {
+			rep.Checked++
+			sx := matrix.Sigma(p.AlgA, p.AdjA, x)
+			left := p.MapState(sx)
+			right := matrix.Sigma(p.AlgB, p.AdjB, p.MapState(x))
+			if !left.Equal(p.AlgB, right) {
+				rep.Commutes = false
+				rep.Counterexample = fmt.Sprintf("state %d step %d: h∘σ_A ≠ σ_B∘h", s, step)
+				return rep
+			}
+			x = sx
+		}
+	}
+	return rep
+}

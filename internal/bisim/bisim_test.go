@@ -1,0 +1,157 @@
+package bisim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebras"
+	"repro/internal/async"
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/schedule"
+)
+
+func instance() Pair[ShadowRoute, BGPRoute] {
+	g, asOf := TwoTierASes()
+	return HierarchicalInstance(g, asOf, 15)
+}
+
+// randomShadow draws an arbitrary — usually garbage — shadow route.
+func randomShadow(rng *rand.Rand, n int) ShadowRoute {
+	if rng.Intn(6) == 0 {
+		return ShadowAlg{}.Invalid()
+	}
+	r := ShadowRoute{}
+	r.Dist = algebras.NatInf(rng.Intn(16))
+	nAS := 1 + rng.Intn(3)
+	perm := rng.Perm(3)
+	r.ASPath = append(r.ASPath, perm[:nAS]...)
+	for k := rng.Intn(4); k > 0; k-- {
+		r.Routers = append(r.Routers, rng.Intn(n))
+	}
+	return r
+}
+
+func TestHierarchicalBisimulation(t *testing.T) {
+	p := instance()
+	rng := rand.New(rand.NewSource(84))
+	var routes []ShadowRoute
+	for i := 0; i < 30; i++ {
+		routes = append(routes, randomShadow(rng, 6))
+	}
+	rep := Check[ShadowRoute, BGPRoute](p, routes,
+		func(rng *rand.Rand, _, _ int) ShadowRoute { return randomShadow(rng, 6) },
+		rng, 25, 8)
+	if !rep.OK() {
+		t.Fatalf("bisimulation must hold: %s", rep)
+	}
+	if rep.Checked < 100 {
+		t.Errorf("only %d cases checked", rep.Checked)
+	}
+}
+
+func TestBrokenMappingCaught(t *testing.T) {
+	// A mapping that corrupts the distance cannot commute with σ.
+	p := instance()
+	p.H = func(r ShadowRoute) BGPRoute {
+		out := r.BGPRoute
+		if !out.Invalid && out.Dist > 0 {
+			out.Dist--
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(85))
+	rep := Check[ShadowRoute, BGPRoute](p, nil,
+		func(rng *rand.Rand, _, _ int) ShadowRoute { return randomShadow(rng, 6) },
+		rng, 10, 4)
+	if rep.OK() {
+		t.Fatal("corrupted mapping must be rejected")
+	}
+}
+
+func TestRealAlgebraStrictlyIncreasing(t *testing.T) {
+	// The AS-path protocol itself satisfies the paper's conditions: its
+	// carrier is finite (bounded dist, simple AS paths) and its edges are
+	// strictly increasing.
+	g, asOf := TwoTierASes()
+	p := HierarchicalInstance(g, asOf, 15)
+	var routes []BGPRoute
+	rng := rand.New(rand.NewSource(86))
+	for i := 0; i < 40; i++ {
+		routes = append(routes, Forget(randomShadow(rng, 6)))
+	}
+	s := core.Sample[BGPRoute]{Routes: routes, Edges: p.AdjB.EdgeList()}
+	if err := core.CheckRequired[BGPRoute](p.AlgB, s); err != nil {
+		t.Fatal(err)
+	}
+	rep := core.Check[BGPRoute](p.AlgB, core.StrictlyIncreasing, s)
+	if !rep.Holds {
+		t.Fatalf("AS-path algebra must be strictly increasing: %s", rep.Counterexample)
+	}
+}
+
+func TestShadowAlgebraLaws(t *testing.T) {
+	p := instance()
+	rng := rand.New(rand.NewSource(87))
+	var routes []ShadowRoute
+	for i := 0; i < 30; i++ {
+		routes = append(routes, randomShadow(rng, 6))
+	}
+	s := core.Sample[ShadowRoute]{Routes: routes, Edges: p.AdjA.EdgeList()}
+	if err := core.CheckRequired[ShadowRoute](p.AlgA, s); err != nil {
+		t.Fatal(err)
+	}
+	rep := core.Check[ShadowRoute](p.AlgA, core.StrictlyIncreasing, s)
+	if !rep.Holds {
+		t.Fatalf("shadow algebra must be strictly increasing: %s", rep.Counterexample)
+	}
+}
+
+func TestConvergenceTransfers(t *testing.T) {
+	// The punchline of Section 8.4: the real protocol converges
+	// absolutely because the shadow does and h is a bisimulation. Verify
+	// both limits agree under h.
+	p := instance()
+	cleanA := matrix.Identity[ShadowRoute](p.AlgA, 6)
+	wantA, _, okA := matrix.FixedPoint[ShadowRoute](p.AlgA, p.AdjA, cleanA, 200)
+	if !okA {
+		t.Fatal("shadow must converge")
+	}
+	cleanB := matrix.Identity[BGPRoute](p.AlgB, 6)
+	wantB, _, okB := matrix.FixedPoint[BGPRoute](p.AlgB, p.AdjB, cleanB, 200)
+	if !okB {
+		t.Fatal("real protocol must converge")
+	}
+	if !p.MapState(wantA).Equal(p.AlgB, wantB) {
+		t.Fatal("h(fix(σ_A)) ≠ fix(σ_B)")
+	}
+	// And asynchronously, from garbage, on the real protocol.
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 15; trial++ {
+		start := matrix.RandomState(rng, 6, func(rng *rand.Rand, _, _ int) BGPRoute {
+			return Forget(randomShadow(rng, 6))
+		})
+		sched := schedule.Random(rng, 6, 400, schedule.Options{MaxGap: 10, MaxStaleness: 12})
+		final := async.Final[BGPRoute](p.AlgB, p.AdjB, start, sched)
+		if !final.Equal(p.AlgB, wantB) {
+			t.Fatalf("trial %d: real protocol deviated", trial)
+		}
+	}
+}
+
+func TestCrossASRoutesSane(t *testing.T) {
+	// Router 0 (AS 0) reaches router 3 (AS 1): the AS path must be the
+	// short way round the AS ring, and within the distance bound.
+	p := instance()
+	fp, _, _ := matrix.FixedPoint[BGPRoute](p.AlgB, p.AdjB, matrix.Identity[BGPRoute](p.AlgB, 6), 100)
+	r := fp.Get(0, 3)
+	if r.Invalid {
+		t.Fatal("0 must reach 3")
+	}
+	if len(r.ASPath) != 2 {
+		t.Errorf("AS path %v, want 2 ASes (0 then 1)", r.ASPath)
+	}
+	if r.ASPath[0] != 0 || r.ASPath[len(r.ASPath)-1] != 1 {
+		t.Errorf("AS path %v should start at AS 0 and end at AS 1", r.ASPath)
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+import "fmt"
+
+// Property names every algebraic law from Table 1 of the paper.
+type Property string
+
+// The properties of Table 1. The first six are required of every routing
+// algebra; the last three are the optional properties that separate the
+// classical distributive theory from the policy-rich increasing theory.
+const (
+	Associative        Property = "⊕ is associative"
+	Commutative        Property = "⊕ is commutative"
+	Selective          Property = "⊕ is selective"
+	TrivialAnnihilator Property = "0 is an annihilator for ⊕"
+	InvalidIdentity    Property = "∞ is an identity for ⊕"
+	InvalidFixedPoint  Property = "∞ is a fixed point for F"
+	Increasing         Property = "F is increasing over ⊕"
+	StrictlyIncreasing Property = "F is strictly increasing over ⊕"
+	Distributive       Property = "F distributes over ⊕"
+)
+
+// RequiredProperties are the laws every routing algebra must satisfy
+// (Definition 1).
+func RequiredProperties() []Property {
+	return []Property{
+		Associative, Commutative, Selective,
+		TrivialAnnihilator, InvalidIdentity, InvalidFixedPoint,
+	}
+}
+
+// OptionalProperties are the Table 1 laws that characterise sub-classes of
+// algebras: increasing (Definition 2), strictly increasing (Definition 3)
+// and distributive (Equation 1).
+func OptionalProperties() []Property {
+	return []Property{Increasing, StrictlyIncreasing, Distributive}
+}
+
+// Report is the outcome of checking one property against a finite sample of
+// routes and edge functions. A false Holds carries a human-readable
+// counterexample.
+type Report struct {
+	Property       Property
+	Holds          bool
+	Counterexample string
+	// Checked counts the individual instances evaluated.
+	Checked int
+}
+
+func (r Report) String() string {
+	if r.Holds {
+		return fmt.Sprintf("%-35s PASS (%d cases)", r.Property, r.Checked)
+	}
+	return fmt.Sprintf("%-35s FAIL: %s", r.Property, r.Counterexample)
+}
+
+// Sample is the finite fragment of an algebra a checker evaluates laws
+// over: a set of routes (ideally the whole universe for Enumerable
+// algebras) and a set of edge functions drawn from F.
+type Sample[R any] struct {
+	Routes []R
+	Edges  []Edge[R]
+}
+
+// UniverseSample builds a Sample whose Routes are the full universe of an
+// Enumerable algebra.
+func UniverseSample[R any](alg Algebra[R], enum Enumerable[R], edges []Edge[R]) Sample[R] {
+	return Sample[R]{Routes: enum.Universe(), Edges: edges}
+}
+
+// ensureSpecials returns s.Routes extended with Trivial and Invalid if they
+// are missing, so that every check exercises the distinguished elements.
+func ensureSpecials[R any](alg Algebra[R], routes []R) []R {
+	out := routes
+	for _, sp := range []R{alg.Trivial(), alg.Invalid()} {
+		found := false
+		for _, r := range routes {
+			if alg.Equal(r, sp) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(append([]R(nil), out...), sp)
+		}
+	}
+	return out
+}
+
+// Check evaluates one property over the sample and reports the first
+// counterexample, if any.
+func Check[R any](alg Algebra[R], p Property, s Sample[R]) Report {
+	routes := ensureSpecials(alg, s.Routes)
+	rep := Report{Property: p, Holds: true}
+	fail := func(format string, args ...any) {
+		rep.Holds = false
+		rep.Counterexample = fmt.Sprintf(format, args...)
+	}
+	switch p {
+	case Associative:
+		for _, a := range routes {
+			for _, b := range routes {
+				for _, c := range routes {
+					rep.Checked++
+					l := alg.Choice(a, alg.Choice(b, c))
+					r := alg.Choice(alg.Choice(a, b), c)
+					if !alg.Equal(l, r) {
+						fail("a=%s b=%s c=%s: a⊕(b⊕c)=%s ≠ (a⊕b)⊕c=%s",
+							alg.Format(a), alg.Format(b), alg.Format(c), alg.Format(l), alg.Format(r))
+						return rep
+					}
+				}
+			}
+		}
+	case Commutative:
+		for _, a := range routes {
+			for _, b := range routes {
+				rep.Checked++
+				l, r := alg.Choice(a, b), alg.Choice(b, a)
+				if !alg.Equal(l, r) {
+					fail("a=%s b=%s: a⊕b=%s ≠ b⊕a=%s",
+						alg.Format(a), alg.Format(b), alg.Format(l), alg.Format(r))
+					return rep
+				}
+			}
+		}
+	case Selective:
+		for _, a := range routes {
+			for _, b := range routes {
+				rep.Checked++
+				c := alg.Choice(a, b)
+				if !alg.Equal(c, a) && !alg.Equal(c, b) {
+					fail("a=%s b=%s: a⊕b=%s is neither argument",
+						alg.Format(a), alg.Format(b), alg.Format(c))
+					return rep
+				}
+			}
+		}
+	case TrivialAnnihilator:
+		zero := alg.Trivial()
+		for _, a := range routes {
+			rep.Checked++
+			if !alg.Equal(alg.Choice(a, zero), zero) || !alg.Equal(alg.Choice(zero, a), zero) {
+				fail("a=%s: a⊕0=%s, 0⊕a=%s, want 0=%s",
+					alg.Format(a), alg.Format(alg.Choice(a, zero)), alg.Format(alg.Choice(zero, a)), alg.Format(zero))
+				return rep
+			}
+		}
+	case InvalidIdentity:
+		inf := alg.Invalid()
+		for _, a := range routes {
+			rep.Checked++
+			if !alg.Equal(alg.Choice(a, inf), a) || !alg.Equal(alg.Choice(inf, a), a) {
+				fail("a=%s: a⊕∞=%s, ∞⊕a=%s, want a",
+					alg.Format(a), alg.Format(alg.Choice(a, inf)), alg.Format(alg.Choice(inf, a)))
+				return rep
+			}
+		}
+	case InvalidFixedPoint:
+		inf := alg.Invalid()
+		for _, f := range s.Edges {
+			rep.Checked++
+			if got := f.Apply(inf); !alg.Equal(got, inf) {
+				fail("f=%s: f(∞)=%s ≠ ∞", f.Label(), alg.Format(got))
+				return rep
+			}
+		}
+	case Increasing:
+		for _, f := range s.Edges {
+			for _, a := range routes {
+				rep.Checked++
+				fa := f.Apply(a)
+				if !Leq(alg, a, fa) {
+					fail("f=%s a=%s: f(a)=%s < a, violating a ≤ f(a)",
+						f.Label(), alg.Format(a), alg.Format(fa))
+					return rep
+				}
+			}
+		}
+	case StrictlyIncreasing:
+		inf := alg.Invalid()
+		for _, f := range s.Edges {
+			for _, a := range routes {
+				if alg.Equal(a, inf) {
+					continue
+				}
+				rep.Checked++
+				fa := f.Apply(a)
+				if !Less(alg, a, fa) {
+					fail("f=%s a=%s: f(a)=%s, want a < f(a)",
+						f.Label(), alg.Format(a), alg.Format(fa))
+					return rep
+				}
+			}
+		}
+	case Distributive:
+		for _, f := range s.Edges {
+			for _, a := range routes {
+				for _, b := range routes {
+					rep.Checked++
+					l := f.Apply(alg.Choice(a, b))
+					r := alg.Choice(f.Apply(a), f.Apply(b))
+					if !alg.Equal(l, r) {
+						fail("f=%s a=%s b=%s: f(a⊕b)=%s ≠ f(a)⊕f(b)=%s",
+							f.Label(), alg.Format(a), alg.Format(b), alg.Format(l), alg.Format(r))
+						return rep
+					}
+				}
+			}
+		}
+	default:
+		fail("unknown property %q", p)
+	}
+	return rep
+}
+
+// CheckAll evaluates every Table 1 property (required then optional) over
+// the sample, in a stable order.
+func CheckAll[R any](alg Algebra[R], s Sample[R]) []Report {
+	var out []Report
+	for _, p := range RequiredProperties() {
+		out = append(out, Check(alg, p, s))
+	}
+	for _, p := range OptionalProperties() {
+		out = append(out, Check(alg, p, s))
+	}
+	return out
+}
+
+// CheckRequired evaluates only the Definition 1 laws and returns an error
+// describing the first violation, or nil if all hold.
+func CheckRequired[R any](alg Algebra[R], s Sample[R]) error {
+	for _, p := range RequiredProperties() {
+		if rep := Check(alg, p, s); !rep.Holds {
+			return fmt.Errorf("%s: %s", rep.Property, rep.Counterexample)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package expr
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/gadgets"
+	"repro/internal/matrix"
+	"repro/internal/paths"
+	"repro/internal/simulate"
+)
+
+// AnomalyRow summarises one misbehaving instance.
+type AnomalyRow struct {
+	Name         string
+	Increasing   bool
+	StableStates int
+	Oscillates   bool
+	// SimulatorOutcomes lists the distinct final states observed across
+	// simulator seeds (for converging instances).
+	SimulatorOutcomes int
+	// AsPredicted reports whether the observed behaviour matches the
+	// literature.
+	AsPredicted bool
+}
+
+// AnomaliesResult is experiment E8.
+type AnomaliesResult struct {
+	Rows []AnomalyRow
+	// WedgieStory captures the RFC 4264 lifecycle: intended state from
+	// one start, wedged state after a flap, recovery only by manual
+	// intervention.
+	WedgieStory struct {
+		PostFlapWedged   bool
+		InterventionOK   bool
+		IntendedIsStable bool
+	}
+}
+
+// AllOK reports whether every anomaly behaved as the literature predicts.
+func (r AnomaliesResult) AllOK() bool {
+	for _, row := range r.Rows {
+		if !row.AsPredicted {
+			return false
+		}
+	}
+	return r.WedgieStory.PostFlapWedged && r.WedgieStory.InterventionOK && r.WedgieStory.IntendedIsStable
+}
+
+// Anomalies is experiment E8 (Sections 1 & 1.1): the classic non-increasing
+// counterexamples, run through the same machinery that certifies the
+// increasing algebras. DISAGREE exhibits two stable states (BGP wedgies,
+// RFC 4264), BAD GADGET oscillates forever (RFC 3345), and GOOD GADGET —
+// the increasing control — converges to its unique solution.
+func Anomalies(w io.Writer, seeds int) AnomaliesResult {
+	section(w, "E8 (§1)", "anomalies of non-increasing policies")
+	var res AnomaliesResult
+
+	run := func(name string, s *gadgets.SPP, predictStable int, predictSyncOsc, predictAsyncConverges bool) {
+		alg := gadgets.Algebra{S: s}
+		adj := alg.Adjacency()
+		sample := core.Sample[gadgets.Route]{Routes: alg.SampleRoutes(), Edges: adj.EdgeList()}
+		inc := core.Check[gadgets.Route](alg, core.Increasing, sample).Holds
+		stable := gadgets.StableStates(s)
+		_, osc := gadgets.DetectCycle(s, gadgets.InitialState(s), 300)
+
+		// Asynchronous behaviour: the simulator's jittered activations
+		// break the lock-step symmetry that makes DISAGREE oscillate
+		// under σ, so it converges iff a stable state exists.
+		distinct := map[string]bool{}
+		asyncConverged := 0
+		for seed := int64(0); seed < int64(seeds); seed++ {
+			out := simulate.Run[gadgets.Route](alg, adj, gadgets.InitialState(s), simulate.Config{
+				Seed: seed, LossProb: 0.3, MaxDelay: 25, MaxTime: 30_000,
+			}, nil)
+			if out.Converged {
+				asyncConverged++
+				distinct[out.Final.Format(alg)] = true
+			}
+		}
+		row := AnomalyRow{
+			Name:              name,
+			Increasing:        inc,
+			StableStates:      len(stable),
+			Oscillates:        osc,
+			SimulatorOutcomes: len(distinct),
+		}
+		row.AsPredicted = len(stable) == predictStable && osc == predictSyncOsc &&
+			(asyncConverged == seeds) == predictAsyncConverges
+		res.Rows = append(res.Rows, row)
+	}
+
+	// DISAGREE oscillates under lock-step σ but converges (to either
+	// stable state) under any fair asynchronous schedule.
+	run("DISAGREE", gadgets.Disagree(), 2, true, true)
+	run("BAD GADGET", gadgets.BadGadget(), 0, true, false)
+	run("GOOD GADGET (control)", gadgets.GoodGadget(), 1, false, true)
+	run("WEDGIE (RFC 4264)", gadgets.Wedgie(), 2, false, true)
+
+	// The wedgie lifecycle.
+	s := gadgets.Wedgie()
+	alg := gadgets.Algebra{S: s}
+	adj := alg.Adjacency()
+	wedged, _, _ := matrix.FixedPoint[gadgets.Route](alg, adj, gadgets.WedgedStart(s), 100)
+	res.WedgieStory.PostFlapWedged = wedged.Get(1, 0).Path.Equal(paths.FromNodes(1, 0))
+	for _, st := range gadgets.StableStates(s) {
+		if st.Get(1, 0).Path.Equal(paths.FromNodes(1, 2, 3, 0)) {
+			res.WedgieStory.IntendedIsStable = matrix.IsStable[gadgets.Route](alg, adj, st)
+		}
+	}
+	// Manual intervention: flap the backup link.
+	cut := adj.Clone()
+	cut.RemoveEdge(1, 0)
+	mid, _, _ := matrix.FixedPoint[gadgets.Route](alg, cut, wedged, 100)
+	final, _, _ := matrix.FixedPoint[gadgets.Route](alg, adj, mid, 100)
+	res.WedgieStory.InterventionOK = final.Get(1, 0).Path.Equal(paths.FromNodes(1, 2, 3, 0))
+
+	tw := newTab(w)
+	fmt.Fprintf(tw, "instance\tincreasing\tstable states\toscillates\tdistinct sim outcomes\tas predicted\n")
+	for _, row := range res.Rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%d\t%s\n",
+			row.Name, pass(row.Increasing), row.StableStates, pass(row.Oscillates),
+			row.SimulatorOutcomes, pass(row.AsPredicted))
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "wedgie lifecycle: post-flap wedged %s; backup-flap intervention restores intended %s\n",
+		pass(res.WedgieStory.PostFlapWedged), pass(res.WedgieStory.InterventionOK))
+	return res
+}

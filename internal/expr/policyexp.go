@@ -1,0 +1,105 @@
+package expr
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/policy"
+	"repro/internal/schedule"
+	"repro/internal/simulate"
+
+	"repro/internal/async"
+)
+
+// SafeByDesignResult is the outcome of experiment E7.
+type SafeByDesignResult struct {
+	// PoliciesFuzzed counts random policy programs checked against the
+	// increasing condition.
+	PoliciesFuzzed int
+	// AllIncreasing reports whether every fuzzed policy produced an
+	// increasing edge function (the safe-by-design claim).
+	AllIncreasing bool
+	// NetworksRun counts random policy networks simulated.
+	NetworksRun int
+	// AllConverged reports whether every network converged absolutely
+	// (same limit under δ and the fault-injecting simulator).
+	AllConverged bool
+}
+
+// OK reports overall success.
+func (r SafeByDesignResult) OK() bool { return r.AllIncreasing && r.AllConverged }
+
+// SafeByDesign is experiment E7 (Section 7): it fuzzes the policy language
+// — random compositions of reject, incrPrefBy, addComm, delComm, compose
+// and condition — and verifies that (a) no expressible policy violates the
+// increasing condition and (b) networks wired with random policies
+// converge absolutely under hostile asynchrony.
+func SafeByDesign(w io.Writer, policies, networks int) SafeByDesignResult {
+	section(w, "E7 (§7)", "safe-by-design policy language")
+	alg := policy.Algebra{}
+	rng := rand.New(rand.NewSource(701))
+	res := SafeByDesignResult{AllIncreasing: true, AllConverged: true}
+
+	// (a) Fuzz the policy language.
+	for i := 0; i < policies; i++ {
+		pol := policy.RandomPolicy(rng, 4, 3)
+		srcN, dstN := rng.Intn(4), rng.Intn(4)
+		if srcN == dstN {
+			continue
+		}
+		e := alg.Edge(srcN, dstN, pol)
+		res.PoliciesFuzzed++
+		for k := 0; k < 20; k++ {
+			r := policy.RandomRoute(rng, 4)
+			fr := e.Apply(r)
+			if !core.Leq[policy.Route](alg, r, fr) {
+				res.AllIncreasing = false
+			}
+			if alg.Equal(r, alg.Invalid()) && !alg.Equal(fr, alg.Invalid()) {
+				res.AllIncreasing = false
+			}
+		}
+	}
+
+	// (b) Random policy networks converge absolutely.
+	for net := 0; net < networks; net++ {
+		n := 3 + rng.Intn(2)
+		adj := matrix.NewAdjacency[policy.Route](n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Float64() < 0.7 {
+					adj.SetEdge(i, j, alg.Edge(i, j, policy.RandomPolicy(rng, n, 2)))
+				}
+			}
+		}
+		want, _, ok := matrix.FixedPoint[policy.Route](alg, adj, matrix.Identity[policy.Route](alg, n), 500)
+		if !ok {
+			res.AllConverged = false
+			continue
+		}
+		res.NetworksRun++
+		// δ from a random state under an adversarial schedule.
+		start := matrix.RandomState(rng, n, func(rng *rand.Rand, _, _ int) policy.Route {
+			return policy.RandomRoute(rng, n)
+		})
+		sched := schedule.Adversarial(rng, n, 600, 10, 12)
+		if !async.Final[policy.Route](alg, adj, start, sched).Equal(alg, want) {
+			res.AllConverged = false
+		}
+		// Simulator with faults.
+		out := simulate.Run[policy.Route](alg, adj, start, simulate.Config{
+			Seed: int64(7000 + net), LossProb: 0.2, DupProb: 0.1, MaxDelay: 12,
+		}, nil)
+		if !out.Converged || !out.Final.Equal(alg, want) {
+			res.AllConverged = false
+		}
+	}
+
+	fmt.Fprintf(w, "policies fuzzed:      %d — all increasing: %s\n", res.PoliciesFuzzed, pass(res.AllIncreasing))
+	fmt.Fprintf(w, "random networks run:  %d — absolute convergence everywhere: %s\n", res.NetworksRun, pass(res.AllConverged))
+	fmt.Fprintf(w, "(it is impossible to express a non-increasing policy in the Section 7 language)\n")
+	return res
+}

@@ -1,0 +1,167 @@
+package expr
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/algebras"
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// Table2Row is one row of the regenerated Table 2.
+type Table2Row struct {
+	Use       string
+	Carrier   string
+	ChoiceOp  string
+	EdgeKind  string
+	InvalidIs string
+	TrivialIs string
+	// LawsOK reports whether the Definition 1 laws were verified.
+	LawsOK bool
+	// Solved is a sample solved route highlighting what the algebra
+	// computes (best route 0→3 of the demo network).
+	Solved string
+	// Rounds is how many σ-rounds the demo network took.
+	Rounds int
+}
+
+// Table2Result is the regenerated Table 2 of the paper.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 regenerates Table 2 (experiment E2): the four simple routing
+// algebras, their required laws verified by machine, and each solving a
+// small demo path problem end-to-end.
+//
+// Demo network (weights per algebra):
+//
+//	0 --a-- 1 --b-- 2 --c-- 3 with a direct chord 0 --d-- 3
+func Table2(w io.Writer) Table2Result {
+	section(w, "E2 (Table 2)", "simple routing algebras, solved")
+	var res Table2Result
+
+	// Shortest paths: chain 1+1+1 = 3 beats chord 4.
+	{
+		alg := algebras.ShortestPaths{}
+		adj := matrix.NewAdjacency[algebras.NatInf](4)
+		ws := []algebras.NatInf{1, 1, 1, 4}
+		chain(adj, alg.AddEdge, ws)
+		row := solveNat(alg, adj, "shortest paths", "ℕ∞", "min", "F₊", "∞", "0")
+		res.Rows = append(res.Rows, row)
+	}
+	// Longest paths: not increasing; we still solve it from the clean
+	// start (the classical use of the algebra on DAG-like problems); on
+	// this cyclic demo it needs the loop-free chord orientation, so use
+	// directed edges 0→1→2→3 and 0→3.
+	{
+		alg := algebras.LongestPaths{}
+		adj := matrix.NewAdjacency[algebras.NatInf](4)
+		adj.SetEdge(1, 0, alg.AddEdge(1)) // route direction: towards dest 3? see below
+		adj.SetEdge(2, 1, alg.AddEdge(1))
+		adj.SetEdge(3, 2, alg.AddEdge(1))
+		adj.SetEdge(3, 0, alg.AddEdge(4))
+		// Solve for routes *to* node 0 along the DAG: node 3 sees
+		// 1+1+1 = 3 via the chain vs 4 via the chord, and max picks 4...
+		// both are finite, demonstrating the max/plus semantics.
+		row := solveNatDirected(alg, adj, "longest paths", "ℕ∞", "max", "F₊", "0", "∞", 3, 0)
+		res.Rows = append(res.Rows, row)
+	}
+	// Widest paths: chain min(10,7,9) = 7 beats chord 5.
+	{
+		alg := algebras.WidestPaths{}
+		adj := matrix.NewAdjacency[algebras.NatInf](4)
+		ws := []algebras.NatInf{10, 7, 9, 5}
+		chain(adj, alg.CapEdge, ws)
+		row := solveNat(alg, adj, "widest paths", "ℕ∞", "max", "F_min", "0", "∞")
+		res.Rows = append(res.Rows, row)
+	}
+	// Most reliable: chain .9×.9×.9 = .729 beats chord .7.
+	{
+		alg := algebras.MostReliable{}
+		adj := matrix.NewAdjacency[float64](4)
+		ws := []float64{0.9, 0.9, 0.9, 0.7}
+		chainF(adj, alg.MulEdge, ws)
+		start := matrix.Identity[float64](alg, 4)
+		fp, rounds, ok := matrix.FixedPoint[float64](alg, adj, start, 64)
+		laws := core.CheckRequired[float64](alg, core.Sample[float64]{
+			Routes: []float64{0, 0.7, 0.729, 0.9, 1},
+			Edges:  adj.EdgeList(),
+		}) == nil
+		res.Rows = append(res.Rows, Table2Row{
+			Use: "most reliable paths", Carrier: "[0,1]", ChoiceOp: "max", EdgeKind: "F×",
+			InvalidIs: "0", TrivialIs: "1",
+			LawsOK: laws && ok,
+			Solved: fmt.Sprintf("0→3: %s", alg.Format(fp.Get(0, 3))),
+			Rounds: rounds,
+		})
+	}
+
+	tw := newTab(w)
+	fmt.Fprintf(tw, "use\tS\t⊕\tF\t∞\t0\tlaws\tsolved (demo)\trounds\n")
+	for _, r := range res.Rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d\n",
+			r.Use, r.Carrier, r.ChoiceOp, r.EdgeKind, r.InvalidIs, r.TrivialIs,
+			pass(r.LawsOK), r.Solved, r.Rounds)
+	}
+	tw.Flush()
+	return res
+}
+
+// chain wires the undirected demo network 0-1-2-3 plus chord 0-3.
+func chain(adj *matrix.Adjacency[algebras.NatInf], edge func(algebras.NatInf) core.Edge[algebras.NatInf], ws []algebras.NatInf) {
+	link := func(i, j int, w algebras.NatInf) {
+		adj.SetEdge(i, j, edge(w))
+		adj.SetEdge(j, i, edge(w))
+	}
+	link(0, 1, ws[0])
+	link(1, 2, ws[1])
+	link(2, 3, ws[2])
+	link(0, 3, ws[3])
+}
+
+func chainF(adj *matrix.Adjacency[float64], edge func(float64) core.Edge[float64], ws []float64) {
+	link := func(i, j int, w float64) {
+		adj.SetEdge(i, j, edge(w))
+		adj.SetEdge(j, i, edge(w))
+	}
+	link(0, 1, ws[0])
+	link(1, 2, ws[1])
+	link(2, 3, ws[2])
+	link(0, 3, ws[3])
+}
+
+func solveNat(alg core.Algebra[algebras.NatInf], adj *matrix.Adjacency[algebras.NatInf],
+	use, carrier, op, edges, inv, triv string) Table2Row {
+	start := matrix.Identity[algebras.NatInf](alg, adj.N)
+	fp, rounds, ok := matrix.FixedPoint[algebras.NatInf](alg, adj, start, 64)
+	laws := core.CheckRequired[algebras.NatInf](alg, core.Sample[algebras.NatInf]{
+		Routes: []algebras.NatInf{0, 1, 2, 3, 5, algebras.Inf},
+		Edges:  adj.EdgeList(),
+	}) == nil
+	return Table2Row{
+		Use: use, Carrier: carrier, ChoiceOp: op, EdgeKind: edges,
+		InvalidIs: inv, TrivialIs: triv,
+		LawsOK: laws && ok,
+		Solved: fmt.Sprintf("0→3: %s", alg.Format(fp.Get(0, 3))),
+		Rounds: rounds,
+	}
+}
+
+func solveNatDirected(alg core.Algebra[algebras.NatInf], adj *matrix.Adjacency[algebras.NatInf],
+	use, carrier, op, edges, inv, triv string, src, dst int) Table2Row {
+	start := matrix.Identity[algebras.NatInf](alg, adj.N)
+	fp, rounds, ok := matrix.FixedPoint[algebras.NatInf](alg, adj, start, 64)
+	laws := core.CheckRequired[algebras.NatInf](alg, core.Sample[algebras.NatInf]{
+		Routes: []algebras.NatInf{0, 1, 2, 3, 5, algebras.Inf},
+		Edges:  adj.EdgeList(),
+	}) == nil
+	return Table2Row{
+		Use: use, Carrier: carrier, ChoiceOp: op, EdgeKind: edges,
+		InvalidIs: inv, TrivialIs: triv,
+		LawsOK: laws && ok,
+		Solved: fmt.Sprintf("%d→%d: %s", src, dst, alg.Format(fp.Get(src, dst))),
+		Rounds: rounds,
+	}
+}

@@ -1,0 +1,100 @@
+package gadgets
+
+import (
+	"repro/internal/matrix"
+	"repro/internal/paths"
+)
+
+// StableStates enumerates every σ-stable state of an SPP instance by brute
+// force: each non-destination node chooses one of its permitted paths or
+// the invalid route, the induced state is assembled, and σ-stability is
+// checked. The search space is the product of the (small) permitted sets,
+// which is fine for the textbook gadgets.
+func StableStates(s *SPP) []*matrix.State[Route] {
+	alg := Algebra{S: s}
+	adj := alg.Adjacency()
+	// Candidate routes per node: permitted paths plus ∞.
+	cands := make([][]Route, s.N)
+	for i := 0; i < s.N; i++ {
+		if i == s.Dest {
+			continue
+		}
+		cands[i] = append(cands[i], alg.Invalid())
+		cands[i] = append(cands[i], s.PermittedPaths(i)...)
+	}
+	var out []*matrix.State[Route]
+	assign := make([]Route, s.N)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == s.N {
+			x := matrix.NewState(s.N, alg.Invalid())
+			for v := 0; v < s.N; v++ {
+				x.Set(v, v, alg.Trivial())
+				if v != s.Dest {
+					x.Set(v, s.Dest, assign[v])
+				}
+			}
+			if matrix.IsStable[Route](alg, adj, x) {
+				out = append(out, x)
+			}
+			return
+		}
+		if i == s.Dest {
+			rec(i + 1)
+			return
+		}
+		for _, r := range cands[i] {
+			assign[i] = r
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// DetectCycle iterates σ from start looking for a revisited state. It
+// returns (periodLength, true) when the orbit enters a cycle of period
+// ≥ 2 (a persistent oscillation), (0, false) if a fixed point is reached,
+// and (0, false) if maxIter expires first (treat as inconclusive).
+func DetectCycle(s *SPP, start *matrix.State[Route], maxIter int) (int, bool) {
+	alg := Algebra{S: s}
+	adj := alg.Adjacency()
+	history := []*matrix.State[Route]{start.Clone()}
+	for len(history) <= maxIter {
+		next := matrix.Sigma[Route](alg, adj, history[len(history)-1])
+		for t := len(history) - 1; t >= 0; t-- {
+			if next.Equal(alg, history[t]) {
+				period := len(history) - t
+				if period == 1 {
+					return 0, false // fixed point, not an oscillation
+				}
+				return period, true
+			}
+		}
+		history = append(history, next)
+	}
+	return 0, false
+}
+
+// InitialState is the "clean start" for an SPP: every node knows only the
+// trivial route to itself; everything else is ∞.
+func InitialState(s *SPP) *matrix.State[Route] {
+	return matrix.Identity[Route](Algebra{S: s}, s.N)
+}
+
+// WedgedStart builds the post-flap starting state for the wedgie
+// experiment: the primary link has just recovered, but the routing tables
+// still carry the routes learned while it was down (node 1 on the backup
+// path, node 2 routing through its customer). Running any engine from this
+// state reaches the unintended stable state.
+func WedgedStart(s *SPP) *matrix.State[Route] {
+	alg := Algebra{S: s}
+	x := matrix.Identity[Route](alg, s.N)
+	set := func(node int, rank uint32, ns ...int) {
+		x.Set(node, s.Dest, Route{Rank: rank, Path: paths.FromNodes(ns...)})
+	}
+	set(1, 2, 1, 0)
+	set(2, 1, 2, 1, 0)
+	set(3, 1, 3, 0)
+	return x
+}

@@ -1,0 +1,224 @@
+package gadgets
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/paths"
+)
+
+func TestDisagreeTwoStableStates(t *testing.T) {
+	states := StableStates(Disagree())
+	if len(states) != 2 {
+		t.Fatalf("DISAGREE: %d stable states, want 2", len(states))
+	}
+	// One has node 1 on 1->2->0, the other node 2 on 2->1->0.
+	var viaEachOther int
+	for _, st := range states {
+		p1 := st.Get(1, 0).Path
+		p2 := st.Get(2, 0).Path
+		if p1.Equal(paths.FromNodes(1, 2, 0)) && p2.Equal(paths.FromNodes(2, 0)) {
+			viaEachOther++
+		}
+		if p2.Equal(paths.FromNodes(2, 1, 0)) && p1.Equal(paths.FromNodes(1, 0)) {
+			viaEachOther++
+		}
+	}
+	if viaEachOther != 2 {
+		t.Error("stable states are not the two expected DISAGREE solutions")
+	}
+}
+
+func TestBadGadgetHasNoStableState(t *testing.T) {
+	if states := StableStates(BadGadget()); len(states) != 0 {
+		t.Fatalf("BAD GADGET: %d stable states, want 0", len(states))
+	}
+}
+
+func TestBadGadgetOscillates(t *testing.T) {
+	s := BadGadget()
+	period, oscillates := DetectCycle(s, InitialState(s), 200)
+	if !oscillates {
+		t.Fatal("BAD GADGET must enter a σ-cycle")
+	}
+	if period < 2 {
+		t.Errorf("cycle period %d, want ≥ 2", period)
+	}
+}
+
+func TestGoodGadgetUniqueStableState(t *testing.T) {
+	s := GoodGadget()
+	states := StableStates(s)
+	if len(states) != 1 {
+		t.Fatalf("GOOD GADGET: %d stable states, want 1", len(states))
+	}
+	// Everyone uses the direct path.
+	st := states[0]
+	for _, node := range []int{1, 2, 3} {
+		if got := st.Get(node, 0).Path; !got.Equal(paths.FromNodes(node, 0)) {
+			t.Errorf("node %d uses %s, want its direct path", node, got)
+		}
+	}
+	if _, osc := DetectCycle(s, InitialState(s), 200); osc {
+		t.Error("GOOD GADGET must not oscillate")
+	}
+}
+
+func TestWedgieTwoStableStates(t *testing.T) {
+	s := Wedgie()
+	states := StableStates(s)
+	if len(states) != 2 {
+		t.Fatalf("wedgie: %d stable states, want 2", len(states))
+	}
+	// Identify intended (node 1 on the primary path through 2,3) and
+	// wedged (node 1 stuck on the backup link).
+	var intended, wedged bool
+	for _, st := range states {
+		p1 := st.Get(1, 0).Path
+		if p1.Equal(paths.FromNodes(1, 2, 3, 0)) {
+			intended = true
+		}
+		if p1.Equal(paths.FromNodes(1, 0)) {
+			wedged = true
+		}
+	}
+	if !intended || !wedged {
+		t.Errorf("expected one intended and one wedged state (intended=%v wedged=%v)", intended, wedged)
+	}
+}
+
+func TestWedgieReachedFromPostFlapState(t *testing.T) {
+	// From the post-flap state, σ settles into the *wedged* stable state:
+	// recovery of the primary link does not undo the wedge.
+	s := Wedgie()
+	alg := Algebra{S: s}
+	adj := alg.Adjacency()
+	fp, _, ok := matrix.FixedPoint[Route](alg, adj, WedgedStart(s), 100)
+	if !ok {
+		t.Fatal("post-flap state must converge")
+	}
+	if got := fp.Get(1, 0).Path; !got.Equal(paths.FromNodes(1, 0)) {
+		t.Errorf("node 1 should remain wedged on the backup, got %s", got)
+	}
+	// The intended state, once installed, sustains itself.
+	var intended *matrix.State[Route]
+	for _, st := range StableStates(s) {
+		if st.Get(1, 0).Path.Equal(paths.FromNodes(1, 2, 3, 0)) {
+			intended = st
+		}
+	}
+	if intended == nil {
+		t.Fatal("no intended stable state found")
+	}
+	if !matrix.IsStable[Route](alg, adj, intended) {
+		t.Error("intended state must be σ-stable")
+	}
+}
+
+func TestWedgieManualIntervention(t *testing.T) {
+	// RFC 4264's cure: leaving the wedged state requires operators to
+	// flap the *backup* link. Removing arc (1,0), converging, and adding
+	// it back lands the network in the intended state — convergence alone
+	// never would (that is what makes it a wedgie).
+	s := Wedgie()
+	alg := Algebra{S: s}
+	adj := alg.Adjacency()
+	wedged, _, ok := matrix.FixedPoint[Route](alg, adj, WedgedStart(s), 100)
+	if !ok {
+		t.Fatal("must converge to the wedged state first")
+	}
+	// Take the backup link down; per Section 3.2 the current state is the
+	// new starting state for the modified topology.
+	cut := adj.Clone()
+	cut.RemoveEdge(1, 0)
+	mid, _, ok := matrix.FixedPoint[Route](alg, cut, wedged, 100)
+	if !ok {
+		t.Fatal("must converge with the backup link down")
+	}
+	if got := mid.Get(1, 0).Path; !got.Equal(paths.FromNodes(1, 2, 3, 0)) {
+		t.Fatalf("with backup down, node 1 must use the primary, got %s", got)
+	}
+	// Bring the backup link back: the intended state persists.
+	final, _, ok := matrix.FixedPoint[Route](alg, adj, mid, 100)
+	if !ok {
+		t.Fatal("must converge after restoring the backup link")
+	}
+	if got := final.Get(1, 0).Path; !got.Equal(paths.FromNodes(1, 2, 3, 0)) {
+		t.Errorf("after the flap, node 1 should stay on the intended path, got %s", got)
+	}
+}
+
+func TestGadgetAlgebraViolatesIncreasing(t *testing.T) {
+	// The gadgets only misbehave because their algebras are not
+	// increasing; the Table 1 checker pinpoints this.
+	for name, s := range map[string]*SPP{"disagree": Disagree(), "badgadget": BadGadget(), "wedgie": Wedgie()} {
+		alg := Algebra{S: s}
+		sample := core.Sample[Route]{Routes: alg.SampleRoutes(), Edges: alg.Adjacency().EdgeList()}
+		if err := core.CheckRequired[Route](alg, sample); err != nil {
+			t.Errorf("%s: required laws must still hold: %v", name, err)
+		}
+		if rep := core.Check[Route](alg, core.Increasing, sample); rep.Holds {
+			t.Errorf("%s must violate the increasing condition", name)
+		}
+	}
+	// The good gadget is increasing over its permitted routes.
+	good := GoodGadget()
+	alg := Algebra{S: good}
+	sample := core.Sample[Route]{Routes: alg.SampleRoutes(), Edges: alg.Adjacency().EdgeList()}
+	if rep := core.Check[Route](alg, core.StrictlyIncreasing, sample); !rep.Holds {
+		t.Errorf("good gadget should be strictly increasing on its permitted routes: %s", rep.Counterexample)
+	}
+}
+
+func TestPermittedPathsSorted(t *testing.T) {
+	s := Disagree()
+	pp := s.PermittedPaths(1)
+	if len(pp) != 2 {
+		t.Fatalf("node 1 has %d permitted paths, want 2", len(pp))
+	}
+	if pp[0].Rank > pp[1].Rank {
+		t.Error("permitted paths must be sorted by rank")
+	}
+	if !pp[0].Path.Equal(paths.FromNodes(1, 2, 0)) {
+		t.Errorf("rank-1 path = %s", pp[0].Path)
+	}
+}
+
+func TestParsePathKeyRoundTrip(t *testing.T) {
+	for _, p := range []paths.Path{
+		paths.FromNodes(1, 0),
+		paths.FromNodes(12, 3, 0),
+		paths.FromNodes(2, 1, 0),
+	} {
+		got, ok := parsePathKey(p.String())
+		if !ok || !got.Equal(p) {
+			t.Errorf("round trip failed for %s: got %s, ok=%v", p, got, ok)
+		}
+	}
+	if _, ok := parsePathKey("nonsense"); ok {
+		t.Error("garbage must not parse")
+	}
+}
+
+func TestPermitValidation(t *testing.T) {
+	s := NewSPP(3, 0)
+	for _, tc := range []struct {
+		name  string
+		rank  uint32
+		nodes []int
+	}{
+		{"rank zero", 0, []int{1, 0}},
+		{"loop", 1, []int{1, 2, 1, 0}},
+		{"wrong destination", 1, []int{1, 2}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Permit must panic", tc.name)
+				}
+			}()
+			s.Permit(tc.rank, tc.nodes...)
+		}()
+	}
+}

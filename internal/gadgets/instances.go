@@ -1,0 +1,69 @@
+package gadgets
+
+// Disagree is the two-node DISAGREE instance: each of nodes 1 and 2
+// prefers reaching destination 0 through the other, with the direct link
+// as second choice. It has two stable states — whichever node "wins"
+// depends on message timing — so it demonstrates the failure of point 2 of
+// Section 1.1 (a unique final state) for non-increasing policies.
+func Disagree() *SPP {
+	s := NewSPP(3, 0)
+	s.Permit(1, 1, 2, 0)
+	s.Permit(2, 1, 0)
+	s.Permit(1, 2, 1, 0)
+	s.Permit(2, 2, 0)
+	return s
+}
+
+// BadGadget is the canonical four-node BAD GADGET: nodes 1, 2 and 3 each
+// prefer the route through their clockwise neighbour over their direct
+// link to destination 0. It has no stable state at all, so σ (and any δ)
+// oscillates forever — the persistent route oscillation of RFC 3345.
+func BadGadget() *SPP {
+	s := NewSPP(4, 0)
+	s.Permit(1, 1, 2, 0)
+	s.Permit(2, 1, 0)
+	s.Permit(1, 2, 3, 0)
+	s.Permit(2, 2, 0)
+	s.Permit(1, 3, 1, 0)
+	s.Permit(2, 3, 0)
+	return s
+}
+
+// GoodGadget is BAD GADGET with the preferences inverted: every node
+// prefers its direct (shorter) path, making the instance strictly
+// increasing in spirit. It has exactly one stable state; the experiments
+// use it as the control for BadGadget.
+func GoodGadget() *SPP {
+	s := NewSPP(4, 0)
+	s.Permit(2, 1, 2, 0)
+	s.Permit(1, 1, 0)
+	s.Permit(2, 2, 3, 0)
+	s.Permit(1, 2, 0)
+	s.Permit(2, 3, 1, 0)
+	s.Permit(1, 3, 0)
+	return s
+}
+
+// Wedgie is the RFC 4264 "3/4 wedgie". Destination 0 (the customer AS) is
+// dual-homed: a primary link to node 3 and a backup link to node 1
+// (signalled with a lower-preference backup community). Node 1 is a
+// customer of node 2; nodes 2 and 3 are peers.
+//
+//	node 1 (AS2): 1→2→3→0 (via provider, rank 1)  ≻  1→0 (backup, rank 2)
+//	node 2 (AS3): 2→1→0  (customer route, rank 1) ≻  2→3→0 (peer, rank 2)
+//	node 3 (AS4): 3→0    (customer route, rank 1) ≻  3→2→1→0 (peer, rank 2)
+//
+// Intended state: everyone reaches 0 through the primary link 3→0. Wedged
+// state (reached after the primary link flaps): node 1 sticks to the
+// backup because node 2 prefers its customer route through node 1 and
+// therefore never re-advertises the primary path to node 1.
+func Wedgie() *SPP {
+	s := NewSPP(4, 0)
+	s.Permit(1, 1, 2, 3, 0)
+	s.Permit(2, 1, 0)
+	s.Permit(1, 2, 1, 0)
+	s.Permit(2, 2, 3, 0)
+	s.Permit(1, 3, 0)
+	s.Permit(2, 3, 2, 1, 0)
+	return s
+}

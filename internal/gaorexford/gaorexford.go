@@ -1,0 +1,244 @@
+// Package gaorexford encodes the Gao–Rexford commercial-relationship
+// conditions as a routing algebra, following Sobrinho's observation (cited
+// in Sections 1 and 1.2 of the paper) that the conditions embed into a
+// strictly increasing framework and are therefore a special case of the
+// paper's convergence theory.
+//
+// Routes record the relationship class through which they were learned —
+// from a customer, from a peer, or from a provider — together with an AS
+// hop count. Preference is lexicographic: customer-learned beats
+// peer-learned beats provider-learned, then fewer hops. Edge weights bake
+// in the Gao–Rexford export rules:
+//
+//   - everything may be exported to a customer (the route arrives at the
+//     customer as provider-learned);
+//   - only customer-learned routes may be exported to a peer or to a
+//     provider.
+//
+// Every permitted transition moves a route to a weakly worse class with a
+// strictly longer path, so the algebra is strictly increasing and Theorem 7
+// / Theorem 11 apply — no topological customer-provider-DAG assumption is
+// needed, which is exactly the generalisation the paper advertises.
+//
+// The package also provides the classic *violation*: an import policy that
+// prefers provider routes over customer routes ("hidden local preference",
+// Section 8.2). The property checkers of experiment E9 catch it as a
+// strictly-increasing failure.
+package gaorexford
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Class is the relationship through which a route was learned, ordered by
+// preference: customer-learned is best.
+type Class uint8
+
+// The relationship classes. Own is the class of the trivial route (the AS
+// itself); None is the class of the invalid route.
+const (
+	Own Class = iota
+	FromCustomer
+	FromPeer
+	FromProvider
+	None
+)
+
+// String renders the class.
+func (c Class) String() string {
+	switch c {
+	case Own:
+		return "own"
+	case FromCustomer:
+		return "cust"
+	case FromPeer:
+		return "peer"
+	case FromProvider:
+		return "prov"
+	default:
+		return "-"
+	}
+}
+
+// Route is a Gao–Rexford route: the class it was learned through and its
+// AS hop count. The invalid route has class None.
+type Route struct {
+	Class Class
+	Hops  uint32
+}
+
+// Invalid is the invalid route ∞.
+var Invalid = Route{Class: None}
+
+// Trivial is the trivial route 0: the AS's own prefix.
+var Trivial = Route{Class: Own}
+
+// Algebra is the Gao–Rexford preference algebra. Its carrier is infinite
+// (hops are unbounded), so experiments wrap it in pathalg.New to obtain
+// loop rejection, or bound the hop count with MaxHops.
+type Algebra struct {
+	// MaxHops, when non-zero, invalidates routes whose hop count would
+	// exceed it, making the carrier finite (and Universe available).
+	MaxHops uint32
+}
+
+// clamp maps over-long routes to ∞ when MaxHops is set.
+func (g Algebra) clamp(r Route) Route {
+	if r.Class == None || (g.MaxHops > 0 && r.Hops > g.MaxHops) {
+		return Invalid
+	}
+	return r
+}
+
+// compare orders routes: class first (customer < peer < provider), then
+// hop count.
+func compare(a, b Route) int {
+	switch {
+	case a.Class < b.Class:
+		return -1
+	case a.Class > b.Class:
+		return 1
+	case a.Hops < b.Hops:
+		return -1
+	case a.Hops > b.Hops:
+		return 1
+	}
+	return 0
+}
+
+// Choice implements ⊕.
+func (g Algebra) Choice(a, b Route) Route {
+	a, b = g.clamp(a), g.clamp(b)
+	if compare(a, b) <= 0 {
+		return a
+	}
+	return b
+}
+
+// Trivial implements 0.
+func (Algebra) Trivial() Route { return Trivial }
+
+// Invalid implements ∞.
+func (Algebra) Invalid() Route { return Invalid }
+
+// Equal implements route equality. All invalid routes are identified.
+func (g Algebra) Equal(a, b Route) bool {
+	a, b = g.clamp(a), g.clamp(b)
+	if a.Class == None || b.Class == None {
+		return a.Class == b.Class
+	}
+	return a == b
+}
+
+// Format implements route rendering.
+func (g Algebra) Format(r Route) string {
+	r = g.clamp(r)
+	if r.Class == None {
+		return "∞"
+	}
+	return fmt.Sprintf("%s/%d", r.Class, r.Hops)
+}
+
+// Universe implements core.Enumerable when MaxHops is set; it panics
+// otherwise.
+func (g Algebra) Universe() []Route {
+	if g.MaxHops == 0 {
+		panic("gaorexford: Universe requires MaxHops > 0")
+	}
+	out := []Route{Trivial, Invalid}
+	for _, c := range []Class{FromCustomer, FromPeer, FromProvider} {
+		for h := uint32(1); h <= g.MaxHops; h++ {
+			out = append(out, Route{Class: c, Hops: h})
+		}
+	}
+	return out
+}
+
+// Relationship labels the directed edge (i → j) from the perspective of the
+// *receiving* AS i: j is i's customer, peer or provider.
+type Relationship uint8
+
+// The edge relationships: on edge (i, j), node i learns routes from j, and
+// CustomerEdge means "j is i's customer".
+const (
+	CustomerEdge Relationship = iota // receiver hears from its customer
+	PeerEdge                         // receiver hears from its peer
+	ProviderEdge                     // receiver hears from its provider
+)
+
+// String renders the relationship.
+func (rel Relationship) String() string {
+	switch rel {
+	case CustomerEdge:
+		return "cust→"
+	case PeerEdge:
+		return "peer→"
+	default:
+		return "prov→"
+	}
+}
+
+// exportAllowed implements the Gao–Rexford export rules: the sender j may
+// export route r across an edge whose relationship (from the receiver's
+// perspective) is rel. When i hears from its customer j, then from j's
+// perspective i is a provider, so j exports only its own or
+// customer-learned routes; symmetrically for peers; providers export
+// everything to their customers.
+func exportAllowed(rel Relationship, r Route) bool {
+	switch rel {
+	case CustomerEdge, PeerEdge:
+		// Sender is exporting to its provider or peer: only own and
+		// customer-learned routes may flow.
+		return r.Class == Own || r.Class == FromCustomer
+	default:
+		// Sender is exporting to its customer: everything flows.
+		return true
+	}
+}
+
+// classAtReceiver is the class a route assumes at the receiving AS.
+func classAtReceiver(rel Relationship) Class {
+	switch rel {
+	case CustomerEdge:
+		return FromCustomer
+	case PeerEdge:
+		return FromPeer
+	default:
+		return FromProvider
+	}
+}
+
+// Edge builds the Gao–Rexford edge weight for relationship rel.
+func (g Algebra) Edge(rel Relationship) core.Edge[Route] {
+	return core.Fn[Route](rel.String(), func(r Route) Route {
+		r = g.clamp(r)
+		if r.Class == None || !exportAllowed(rel, r) {
+			return Invalid
+		}
+		return g.clamp(Route{Class: classAtReceiver(rel), Hops: r.Hops + 1})
+	})
+}
+
+// ViolatingEdge models the "hidden local preference" hazard of Section
+// 8.2: an AS that imports provider routes as if they were customer-learned
+// (e.g. by overriding local preference on import). The resulting edge maps
+// a provider-learned route to the *better* customer class, violating the
+// increasing condition; experiment E9 demonstrates the checkers catching
+// it.
+func (g Algebra) ViolatingEdge() core.Edge[Route] {
+	return core.Fn[Route]("prov→(lpref-override)", func(r Route) Route {
+		r = g.clamp(r)
+		if r.Class == None {
+			return Invalid
+		}
+		return g.clamp(Route{Class: FromCustomer, Hops: r.Hops + 1})
+	})
+}
+
+// Edges returns one edge of each relationship, the canonical F-sample for
+// property checking.
+func (g Algebra) Edges() []core.Edge[Route] {
+	return []core.Edge[Route]{g.Edge(CustomerEdge), g.Edge(PeerEdge), g.Edge(ProviderEdge)}
+}

@@ -1,0 +1,190 @@
+package gaorexford
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+func alg() Algebra { return Algebra{MaxHops: 6} }
+
+func TestUniverse(t *testing.T) {
+	u := alg().Universe()
+	// Trivial + Invalid + 3 classes × 6 hop counts.
+	if len(u) != 20 {
+		t.Fatalf("universe size %d, want 20", len(u))
+	}
+}
+
+func TestPreferenceOrder(t *testing.T) {
+	g := alg()
+	cust := Route{Class: FromCustomer, Hops: 3}
+	peer := Route{Class: FromPeer, Hops: 1}
+	prov := Route{Class: FromProvider, Hops: 1}
+	// Customer routes beat peer and provider routes regardless of length.
+	if !core.Less[Route](g, cust, peer) {
+		t.Error("customer route must beat peer route")
+	}
+	if !core.Less[Route](g, peer, prov) {
+		t.Error("peer route must beat provider route")
+	}
+	// Within a class, fewer hops win.
+	if !core.Less[Route](g, Route{FromPeer, 1}, Route{FromPeer, 2}) {
+		t.Error("shorter peer route must win")
+	}
+	if !core.Leq[Route](g, Trivial, cust) || !core.Leq[Route](g, prov, Invalid) {
+		t.Error("0 ≤ everything ≤ ∞")
+	}
+}
+
+func TestRequiredLaws(t *testing.T) {
+	g := alg()
+	s := core.UniverseSample[Route](g, g, g.Edges())
+	if err := core.CheckRequired[Route](g, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrictlyIncreasing(t *testing.T) {
+	// The Sobrinho embedding: the Gao–Rexford export/preference rules
+	// form a strictly increasing algebra (experiment E9's headline).
+	g := alg()
+	s := core.UniverseSample[Route](g, g, g.Edges())
+	rep := core.Check[Route](g, core.StrictlyIncreasing, s)
+	if !rep.Holds {
+		t.Fatalf("GR algebra must be strictly increasing: %s", rep.Counterexample)
+	}
+}
+
+func TestHiddenLocalPrefViolationCaught(t *testing.T) {
+	// Section 8.2: overriding preference on import (treating provider
+	// routes as customer-learned) breaks the increasing condition, and the
+	// checker pinpoints it.
+	g := alg()
+	s := core.UniverseSample[Route](g, g, []core.Edge[Route]{g.ViolatingEdge()})
+	rep := core.Check[Route](g, core.Increasing, s)
+	if rep.Holds {
+		t.Fatal("hidden local-pref edge must violate the increasing condition")
+	}
+}
+
+func TestExportRules(t *testing.T) {
+	g := alg()
+	peerRoute := Route{Class: FromPeer, Hops: 1}
+	custRoute := Route{Class: FromCustomer, Hops: 1}
+	// Peer-learned routes are not exported to peers or providers.
+	if got := g.Edge(PeerEdge).Apply(peerRoute); got != Invalid {
+		t.Errorf("peer→peer export must be filtered, got %v", got)
+	}
+	if got := g.Edge(CustomerEdge).Apply(peerRoute); got != Invalid {
+		t.Errorf("peer-learned route exported to a provider must be filtered, got %v", got)
+	}
+	// Customer-learned routes go everywhere.
+	if got := g.Edge(PeerEdge).Apply(custRoute); got.Class != FromPeer || got.Hops != 2 {
+		t.Errorf("customer route via peer edge = %v", got)
+	}
+	if got := g.Edge(CustomerEdge).Apply(custRoute); got.Class != FromCustomer || got.Hops != 2 {
+		t.Errorf("customer route via customer edge = %v", got)
+	}
+	// Providers export everything to customers.
+	provRoute := Route{Class: FromProvider, Hops: 2}
+	if got := g.Edge(ProviderEdge).Apply(provRoute); got.Class != FromProvider || got.Hops != 3 {
+		t.Errorf("provider export to customer = %v", got)
+	}
+}
+
+// hierarchy builds a 6-node two-tier AS graph:
+//
+//	tier 1: 0 — 1 (peers)
+//	tier 2: 2, 3 customers of 0; 4, 5 customers of 1; 3 — 4 peers.
+func hierarchy(g Algebra) *matrix.Adjacency[Route] {
+	adj := matrix.NewAdjacency[Route](6)
+	// link(a provider, b customer): a hears from its customer b; b hears
+	// from its provider a.
+	custLink := func(provider, customer int) {
+		adj.SetEdge(provider, customer, g.Edge(CustomerEdge))
+		adj.SetEdge(customer, provider, g.Edge(ProviderEdge))
+	}
+	peerLink := func(a, b int) {
+		adj.SetEdge(a, b, g.Edge(PeerEdge))
+		adj.SetEdge(b, a, g.Edge(PeerEdge))
+	}
+	peerLink(0, 1)
+	custLink(0, 2)
+	custLink(0, 3)
+	custLink(1, 4)
+	custLink(1, 5)
+	peerLink(3, 4)
+	return adj
+}
+
+func TestHierarchyConvergesToValleyFreeRoutes(t *testing.T) {
+	g := alg()
+	adj := hierarchy(g)
+	x, rounds, ok := matrix.FixedPoint[Route](g, adj, matrix.Identity[Route](g, 6), 100)
+	if !ok {
+		t.Fatal("GR hierarchy must converge")
+	}
+	if rounds > 6 {
+		t.Errorf("took %d rounds", rounds)
+	}
+	// 2 reaches 5 through its provider chain: 2←0 (prov), 0—1 peer filters
+	// provider routes... valid route: 0 hears 5 via... 5 is customer of 1;
+	// 1 exports customer routes to peer 0; 0 exports provider/peer routes
+	// to customer 2. So 2's route to 5 exists and is provider-learned.
+	r25 := x.Get(2, 5)
+	if r25 == Invalid {
+		t.Fatal("2 must reach 5 via the valley-free path")
+	}
+	if r25.Class != FromProvider {
+		t.Errorf("2's route to 5 must be provider-learned, got %v", r25)
+	}
+	// 3 reaches 4 directly over the peer link.
+	r34 := x.Get(3, 4)
+	if r34.Class != FromPeer || r34.Hops != 1 {
+		t.Errorf("3's route to 4 = %v, want peer/1", r34)
+	}
+	// Valley-freeness: 2 and 3 are both customers of 0, so 3's route to 2
+	// is provider-learned (up, then down) — never through another
+	// customer's customer.
+	if got := x.Get(3, 2); got.Class != FromProvider {
+		t.Errorf("3's route to 2 = %v, want provider-learned", got)
+	}
+}
+
+func TestHierarchyAbsoluteConvergenceFromGarbage(t *testing.T) {
+	g := alg()
+	adj := hierarchy(g)
+	want, _, _ := matrix.FixedPoint[Route](g, adj, matrix.Identity[Route](g, 6), 100)
+	rng := rand.New(rand.NewSource(9))
+	u := g.Universe()
+	for trial := 0; trial < 40; trial++ {
+		start := matrix.RandomStateFrom(rng, 6, u)
+		got, _, ok := matrix.FixedPoint[Route](g, adj, start, 200)
+		if !ok {
+			t.Fatalf("trial %d did not converge", trial)
+		}
+		if !got.Equal(g, want) {
+			t.Fatalf("trial %d: different fixed point", trial)
+		}
+	}
+}
+
+func TestClampMakesCarrierFinite(t *testing.T) {
+	g := Algebra{MaxHops: 2}
+	r := Route{Class: FromCustomer, Hops: 2}
+	if got := g.Edge(CustomerEdge).Apply(r); got != Invalid {
+		t.Errorf("hop overflow must clamp to ∞, got %v", got)
+	}
+}
+
+func TestUnboundedUniversePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Universe without MaxHops must panic")
+		}
+	}()
+	Algebra{}.Universe()
+}

@@ -1,0 +1,70 @@
+package matrix
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/algebras"
+)
+
+func benchNet(n int) (algebras.ShortestPaths, *Adjacency[algebras.NatInf]) {
+	alg := algebras.ShortestPaths{}
+	adj := NewAdjacency[algebras.NatInf](n)
+	for i := 0; i < n; i++ {
+		for d := 1; d <= 3; d++ {
+			j := (i + d) % n
+			adj.SetEdge(i, j, alg.AddEdge(algebras.NatInf(d)))
+			adj.SetEdge(j, i, alg.AddEdge(algebras.NatInf(d)))
+		}
+	}
+	return alg, adj
+}
+
+func BenchmarkSigma(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			alg, adj := benchNet(n)
+			x := Identity[algebras.NatInf](alg, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x = Sigma[algebras.NatInf](alg, adj, x)
+			}
+		})
+	}
+}
+
+func BenchmarkFixedPoint(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			alg, adj := benchNet(n)
+			start := Identity[algebras.NatInf](alg, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, ok := FixedPoint[algebras.NatInf](alg, adj, start, 4*n); !ok {
+					b.Fatal("did not converge")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStateEqual(b *testing.B) {
+	alg, _ := benchNet(64)
+	x := Identity[algebras.NatInf](alg, 64)
+	y := x.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !x.Equal(alg, y) {
+			b.Fatal("unequal")
+		}
+	}
+}
+
+func BenchmarkStateClone(b *testing.B) {
+	alg, _ := benchNet(64)
+	x := Identity[algebras.NatInf](alg, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Clone()
+	}
+}

@@ -1,0 +1,35 @@
+package matrix_test
+
+import (
+	"fmt"
+
+	"repro/internal/algebras"
+	"repro/internal/matrix"
+)
+
+// ExampleFixedPoint solves shortest paths on a 3-node line synchronously.
+func ExampleFixedPoint() {
+	alg := algebras.ShortestPaths{}
+	adj := matrix.NewAdjacency[algebras.NatInf](3)
+	adj.SetEdge(0, 1, alg.AddEdge(1))
+	adj.SetEdge(1, 0, alg.AddEdge(1))
+	adj.SetEdge(1, 2, alg.AddEdge(1))
+	adj.SetEdge(2, 1, alg.AddEdge(1))
+
+	fixed, rounds, ok := matrix.FixedPoint[algebras.NatInf](alg, adj, matrix.Identity[algebras.NatInf](alg, 3), 10)
+	fmt.Println("converged:", ok, "rounds:", rounds, "0→2:", alg.Format(fixed.Get(0, 2)))
+	// Output: converged: true rounds: 2 0→2: 2
+}
+
+// ExampleSigma shows one synchronous protocol round.
+func ExampleSigma() {
+	alg := algebras.ShortestPaths{}
+	adj := matrix.NewAdjacency[algebras.NatInf](2)
+	adj.SetEdge(0, 1, alg.AddEdge(5))
+	adj.SetEdge(1, 0, alg.AddEdge(5))
+
+	x := matrix.Identity[algebras.NatInf](alg, 2)
+	y := matrix.Sigma[algebras.NatInf](alg, adj, x)
+	fmt.Println("0→1 after one round:", alg.Format(y.Get(0, 1)))
+	// Output: 0→1 after one round: 5
+}

@@ -1,0 +1,84 @@
+package matrix
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// EdgeVerdict is the per-edge outcome of linting a configuration.
+type EdgeVerdict struct {
+	I, J  int
+	Label string
+	// Increasing / StrictlyIncreasing report whether this edge's
+	// function satisfies the conditions over the sampled routes.
+	Increasing         bool
+	StrictlyIncreasing bool
+	Counterexample     string
+}
+
+// LintReport summarises a configuration lint.
+type LintReport struct {
+	Edges []EdgeVerdict
+}
+
+// AllIncreasing reports whether every edge passed the increasing check.
+func (r LintReport) AllIncreasing() bool {
+	for _, e := range r.Edges {
+		if !e.Increasing {
+			return false
+		}
+	}
+	return true
+}
+
+// AllStrictlyIncreasing reports whether every edge passed the strict
+// check.
+func (r LintReport) AllStrictlyIncreasing() bool {
+	for _, e := range r.Edges {
+		if !e.StrictlyIncreasing {
+			return false
+		}
+	}
+	return true
+}
+
+// Offenders lists the edges that break the strictly increasing condition,
+// rendered for an operator.
+func (r LintReport) Offenders() []string {
+	var out []string
+	for _, e := range r.Edges {
+		if !e.StrictlyIncreasing {
+			out = append(out, fmt.Sprintf("edge %d←%d [%s]: %s", e.I, e.J, e.Label, e.Counterexample))
+		}
+	}
+	return out
+}
+
+// Lint checks every edge of a configuration against the increasing
+// conditions, edge by edge, so a violation is pinpointed to the exact
+// link and policy that causes it. This is the Section 8.3 suggestion —
+// "tools such as Propane could be extended to either ensure that all
+// policies are strictly increasing, or at the very least provide warnings
+// when they are not" — as a library call: run it before deploying a
+// configuration, and a clean report upgrades convergence from hope to
+// theorem.
+func Lint[R any](alg core.Algebra[R], adj *Adjacency[R], routes []R) LintReport {
+	var rep LintReport
+	for _, e := range adj.Edges() {
+		v := EdgeVerdict{I: e.I, J: e.J, Label: e.E.Label()}
+		s := core.Sample[R]{Routes: routes, Edges: []core.Edge[R]{e.E}}
+		inc := core.Check(alg, core.Increasing, s)
+		v.Increasing = inc.Holds
+		strict := core.Check(alg, core.StrictlyIncreasing, s)
+		v.StrictlyIncreasing = strict.Holds
+		if !strict.Holds {
+			v.Counterexample = strict.Counterexample
+		}
+		if !inc.Holds {
+			v.Counterexample = inc.Counterexample
+		}
+		rep.Edges = append(rep.Edges, v)
+	}
+	return rep
+}

@@ -1,0 +1,75 @@
+package matrix
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebras"
+)
+
+func TestLintCleanConfiguration(t *testing.T) {
+	alg := algebras.HopCount{Limit: 7}
+	adj := NewAdjacency[algebras.NatInf](3)
+	adj.SetEdge(0, 1, alg.AddEdge(1))
+	adj.SetEdge(1, 0, alg.AddEdge(2))
+	adj.SetEdge(1, 2, alg.ConditionalEdge(1, algebras.DistanceAtMost(3)))
+	rep := Lint[algebras.NatInf](alg, adj, alg.Universe())
+	if len(rep.Edges) != 3 {
+		t.Fatalf("%d edges linted, want 3", len(rep.Edges))
+	}
+	if !rep.AllStrictlyIncreasing() {
+		t.Fatalf("clean configuration flagged: %v", rep.Offenders())
+	}
+	if len(rep.Offenders()) != 0 {
+		t.Error("no offenders expected")
+	}
+}
+
+func TestLintPinpointsOffendingEdge(t *testing.T) {
+	// One zero-weight link among good ones: the report must name exactly
+	// that link.
+	alg := algebras.HopCount{Limit: 7}
+	adj := NewAdjacency[algebras.NatInf](3)
+	adj.SetEdge(0, 1, alg.AddEdge(1))
+	adj.SetEdge(1, 2, alg.AddEdge(0)) // the misconfiguration
+	adj.SetEdge(2, 0, alg.AddEdge(1))
+	rep := Lint[algebras.NatInf](alg, adj, alg.Universe())
+	if rep.AllStrictlyIncreasing() {
+		t.Fatal("zero-weight edge not flagged")
+	}
+	if !rep.AllIncreasing() {
+		t.Error("zero-weight edge is still weakly increasing")
+	}
+	off := rep.Offenders()
+	if len(off) != 1 {
+		t.Fatalf("%d offenders, want exactly 1: %v", len(off), off)
+	}
+	if !strings.Contains(off[0], "1←2") {
+		t.Errorf("offender should name edge 1←2: %s", off[0])
+	}
+}
+
+func TestLintCatchesDecreasingPolicy(t *testing.T) {
+	// A "discount" edge that shortens routes — decreasing, the worst kind
+	// of misconfiguration.
+	alg := algebras.HopCount{Limit: 7}
+	adj := NewAdjacency[algebras.NatInf](2)
+	adj.SetEdge(0, 1, discountEdge{})
+	rep := Lint[algebras.NatInf](alg, adj, alg.Universe())
+	if rep.AllIncreasing() {
+		t.Fatal("decreasing edge not caught")
+	}
+	if len(rep.Offenders()) == 0 || rep.Offenders()[0] == "" {
+		t.Error("offender message missing")
+	}
+}
+
+type discountEdge struct{}
+
+func (d discountEdge) Apply(a algebras.NatInf) algebras.NatInf {
+	if a.IsInf() || a == 0 {
+		return a
+	}
+	return a - 1
+}
+func (discountEdge) Label() string { return "-1 (broken)" }

@@ -1,0 +1,24 @@
+package matrix
+
+import "math/rand"
+
+// RandomState builds an n × n state whose cells are drawn independently by
+// gen. The convergence experiments start protocols from such arbitrary —
+// typically inconsistent — states, exercising the "from any starting
+// state" half of the paper's theorems (Definition 7).
+func RandomState[R any](rng *rand.Rand, n int, gen func(rng *rand.Rand, i, j int) R) *State[R] {
+	x := &State[R]{N: n, cells: make([]R, n*n)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x.Set(i, j, gen(rng, i, j))
+		}
+	}
+	return x
+}
+
+// RandomStateFrom draws every cell uniformly from the given universe.
+func RandomStateFrom[R any](rng *rand.Rand, n int, universe []R) *State[R] {
+	return RandomState(rng, n, func(rng *rand.Rand, _, _ int) R {
+		return universe[rng.Intn(len(universe))]
+	})
+}

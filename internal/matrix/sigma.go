@@ -1,0 +1,83 @@
+package matrix
+
+import "repro/internal/core"
+
+// SigmaCell computes one element of σ(X) per Equation 5:
+//
+//	σ(X)_ij = 0                      if i = j
+//	        = ⨁_k A_ik(X_kj)         otherwise
+//
+// Node i's new route to j is the best extension of the routes its
+// neighbours currently hold.
+func SigmaCell[R any](alg core.Algebra[R], a *Adjacency[R], x *State[R], i, j int) R {
+	if i == j {
+		return alg.Trivial()
+	}
+	best := alg.Invalid()
+	for k := 0; k < a.N; k++ {
+		if k == i {
+			continue
+		}
+		if e, ok := a.Edge(i, k); ok {
+			best = alg.Choice(best, e.Apply(x.Get(k, j)))
+		}
+	}
+	return best
+}
+
+// SigmaRow recomputes node i's whole routing table from the neighbour
+// tables recorded in x. It is the per-node update that both the
+// asynchronous evaluator and the message-passing engines share with σ.
+func SigmaRow[R any](alg core.Algebra[R], a *Adjacency[R], x *State[R], i int) []R {
+	row := make([]R, a.N)
+	for j := 0; j < a.N; j++ {
+		row[j] = SigmaCell(alg, a, x, i, j)
+	}
+	return row
+}
+
+// Sigma applies one synchronous Bellman-Ford round: σ(X) = A(X) ⊕ I.
+func Sigma[R any](alg core.Algebra[R], a *Adjacency[R], x *State[R]) *State[R] {
+	out := NewState(x.N, alg.Invalid())
+	for i := 0; i < x.N; i++ {
+		out.SetRow(i, SigmaRow(alg, a, x, i))
+	}
+	return out
+}
+
+// IsStable reports whether x is a fixed point of σ (Definition 4).
+func IsStable[R any](alg core.Algebra[R], a *Adjacency[R], x *State[R]) bool {
+	return Sigma(alg, a, x).Equal(alg, x)
+}
+
+// FixedPoint iterates σ from start until it reaches a fixed point or
+// performs maxRounds rounds. It returns the final state, the number of
+// rounds applied, and whether a fixed point was reached (i.e. whether σ
+// converged synchronously in the sense of Section 2.3).
+func FixedPoint[R any](alg core.Algebra[R], a *Adjacency[R], start *State[R], maxRounds int) (*State[R], int, bool) {
+	x := start.Clone()
+	for round := 0; round < maxRounds; round++ {
+		next := Sigma(alg, a, x)
+		if next.Equal(alg, x) {
+			return x, round, true
+		}
+		x = next
+	}
+	return x, maxRounds, false
+}
+
+// Orbit returns the σ-orbit X, σ(X), σ²(X), ... up to and including the
+// first repeated (fixed-point) state, or maxLen states if no fixed point is
+// reached. The ultrametric experiments walk orbits to exhibit the strictly
+// decreasing distance chains of Lemma 2.
+func Orbit[R any](alg core.Algebra[R], a *Adjacency[R], start *State[R], maxLen int) []*State[R] {
+	orbit := []*State[R]{start.Clone()}
+	for len(orbit) < maxLen {
+		next := Sigma(alg, a, orbit[len(orbit)-1])
+		orbit = append(orbit, next)
+		if next.Equal(alg, orbit[len(orbit)-2]) {
+			break
+		}
+	}
+	return orbit
+}

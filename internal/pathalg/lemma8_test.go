@@ -1,0 +1,125 @@
+package pathalg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebras"
+	"repro/internal/matrix"
+	"repro/internal/paths"
+)
+
+// TestLemma8InconsistencyHasInconsistentSource verifies Lemma 8: if
+// σ(X)_ij is inconsistent then some node k holds an inconsistent route
+// X_kj with X_kj ≠ σ(X)_kj. Checked over random garbage states.
+func TestLemma8InconsistencyHasInconsistentSource(t *testing.T) {
+	alg, adj := spNet(5)
+	rng := rand.New(rand.NewSource(88))
+	gen := func(rng *rand.Rand, _, _ int) spRoute {
+		switch rng.Intn(5) {
+		case 0:
+			return alg.Invalid()
+		case 1:
+			return alg.Trivial()
+		default:
+			perm := rng.Perm(5)
+			return spRoute{Base: algebras.NatInf(rng.Intn(7)), Path: paths.FromNodes(perm[:1+rng.Intn(4)]...)}
+		}
+	}
+	checkedInconsistent := 0
+	for trial := 0; trial < 300; trial++ {
+		x := matrix.RandomState(rng, 5, gen)
+		sx := matrix.Sigma[spRoute](alg, adj, x)
+		sx.Each(func(i, j int, r spRoute) {
+			if Consistent[spRoute](alg, adj, r) {
+				return
+			}
+			checkedInconsistent++
+			// Lemma 8: find k with X_kj inconsistent and X_kj ≠ σ(X)_kj.
+			found := false
+			for k := 0; k < 5 && !found; k++ {
+				if !Consistent[spRoute](alg, adj, x.Get(k, j)) &&
+					!alg.Equal(x.Get(k, j), sx.Get(k, j)) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: σ(X)[%d][%d]=%s inconsistent but no qualifying source",
+					trial, i, j, alg.Format(r))
+			}
+		})
+	}
+	if checkedInconsistent == 0 {
+		t.Fatal("no inconsistent σ-cells generated; weaken the generator")
+	}
+}
+
+// TestInconsistentPathsLengthen verifies the Section 5.2 key insight
+// operationally: any inconsistent route in σ(X) extends an inconsistent
+// route of X, so the minimum inconsistent path length strictly increases
+// every round until none remain.
+func TestInconsistentPathsLengthen(t *testing.T) {
+	alg, adj := spNet(5)
+	rng := rand.New(rand.NewSource(89))
+	minInconsistentLen := func(x *matrix.State[spRoute]) (int, bool) {
+		min, any := 1<<30, false
+		x.Each(func(_, _ int, r spRoute) {
+			if !Consistent[spRoute](alg, adj, r) {
+				any = true
+				if l := r.Path.Len(); l < min {
+					min = l
+				}
+			}
+		})
+		return min, any
+	}
+	for trial := 0; trial < 50; trial++ {
+		x := matrix.RandomState(rng, 5, func(rng *rand.Rand, _, _ int) spRoute {
+			perm := rng.Perm(5)
+			return spRoute{Base: algebras.NatInf(rng.Intn(7)), Path: paths.FromNodes(perm[:1+rng.Intn(4)]...)}
+		})
+		prev, had := minInconsistentLen(x)
+		for round := 0; round < 12 && had; round++ {
+			x = matrix.Sigma[spRoute](alg, adj, x)
+			cur, stillHad := minInconsistentLen(x)
+			if stillHad && cur <= prev {
+				t.Fatalf("trial %d round %d: min inconsistent length %d did not grow past %d",
+					trial, round, cur, prev)
+			}
+			prev, had = cur, stillHad
+		}
+		if had {
+			t.Fatalf("trial %d: inconsistent routes survived 12 rounds on a 5-node net", trial)
+		}
+	}
+}
+
+// TestChoiceLawsQuick fuzzes the Tracked algebra's ⊕ laws with arbitrary
+// (often garbage) routes — the tie-breaking by path order must preserve
+// associativity, commutativity and selectivity.
+func TestChoiceLawsQuick(t *testing.T) {
+	alg, _ := spNet(5)
+	rng := rand.New(rand.NewSource(90))
+	gen := func() spRoute {
+		if rng.Intn(6) == 0 {
+			return alg.Invalid()
+		}
+		perm := rng.Perm(5)
+		return spRoute{Base: algebras.NatInf(rng.Intn(5)), Path: paths.FromNodes(perm[:rng.Intn(4)+1]...)}
+	}
+	for trial := 0; trial < 4000; trial++ {
+		a, b, c := gen(), gen(), gen()
+		if !alg.Equal(alg.Choice(a, b), alg.Choice(b, a)) {
+			t.Fatalf("commutativity: %s vs %s", alg.Format(a), alg.Format(b))
+		}
+		ab := alg.Choice(a, b)
+		if !alg.Equal(ab, a) && !alg.Equal(ab, b) {
+			t.Fatalf("selectivity: %s ⊕ %s = %s", alg.Format(a), alg.Format(b), alg.Format(ab))
+		}
+		l := alg.Choice(a, alg.Choice(b, c))
+		r := alg.Choice(alg.Choice(a, b), c)
+		if !alg.Equal(l, r) {
+			t.Fatalf("associativity: %s, %s, %s", alg.Format(a), alg.Format(b), alg.Format(c))
+		}
+	}
+}

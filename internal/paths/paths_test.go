@@ -1,0 +1,277 @@
+package paths
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecialPaths(t *testing.T) {
+	if !Invalid.IsInvalid() {
+		t.Error("Invalid.IsInvalid() = false")
+	}
+	if Invalid.IsEmpty() {
+		t.Error("Invalid.IsEmpty() = true")
+	}
+	if !Empty.IsEmpty() {
+		t.Error("Empty.IsEmpty() = false")
+	}
+	if Empty.IsInvalid() {
+		t.Error("Empty.IsInvalid() = true")
+	}
+	var zero Path
+	if !zero.IsEmpty() {
+		t.Error("zero value should be the empty path")
+	}
+	if Empty.Len() != 0 || Invalid.Len() != 0 {
+		t.Error("special paths should have length 0")
+	}
+}
+
+func TestFromNodes(t *testing.T) {
+	tests := []struct {
+		nodes   []int
+		invalid bool
+		str     string
+	}{
+		{nil, false, "[]"},
+		{[]int{5}, false, "[]"},
+		{[]int{1, 2}, false, "1->2"},
+		{[]int{1, 2, 3}, false, "1->2->3"},
+		{[]int{1, 2, 1}, true, "⊥"},    // loop
+		{[]int{1, 1}, true, "⊥"},       // self loop
+		{[]int{3, 2, 3, 4}, true, "⊥"}, // repeated node
+	}
+	for _, tc := range tests {
+		p := FromNodes(tc.nodes...)
+		if p.IsInvalid() != tc.invalid {
+			t.Errorf("FromNodes(%v).IsInvalid() = %v, want %v", tc.nodes, p.IsInvalid(), tc.invalid)
+		}
+		if p.String() != tc.str {
+			t.Errorf("FromNodes(%v) = %s, want %s", tc.nodes, p, tc.str)
+		}
+	}
+}
+
+func TestSourceDestination(t *testing.T) {
+	p := FromNodes(4, 2, 7)
+	if s, ok := p.Source(); !ok || s != 4 {
+		t.Errorf("Source = %d, %v; want 4, true", s, ok)
+	}
+	if d, ok := p.Destination(); !ok || d != 7 {
+		t.Errorf("Destination = %d, %v; want 7, true", d, ok)
+	}
+	if _, ok := Empty.Source(); ok {
+		t.Error("Empty has no source")
+	}
+	if _, ok := Invalid.Destination(); ok {
+		t.Error("Invalid has no destination")
+	}
+}
+
+func TestExtendRules(t *testing.T) {
+	p := FromNodes(2, 0) // 2->0
+	// Contiguity: the new arc must end at the current source.
+	if q := p.Extend(1, 2); q.IsInvalid() {
+		t.Error("Extend(1,2) on 2->0 should be valid")
+	}
+	if q := p.Extend(1, 0); !q.IsInvalid() {
+		t.Error("Extend(1,0) on 2->0 breaks contiguity, want ⊥")
+	}
+	// Looping: 0 is already in the path.
+	if q := p.Extend(0, 2); !q.IsInvalid() {
+		t.Error("Extend(0,2) on 2->0 loops, want ⊥")
+	}
+	// Self loop.
+	if q := Empty.Extend(3, 3); !q.IsInvalid() {
+		t.Error("Extend(3,3) on [] is a self loop, want ⊥")
+	}
+	// Extending ⊥ stays ⊥.
+	if q := Invalid.Extend(1, 2); !q.IsInvalid() {
+		t.Error("Extend on ⊥ must stay ⊥")
+	}
+	// Empty extends with any arc.
+	if q := Empty.Extend(1, 5); q.IsInvalid() {
+		t.Error("Extend(1,5) on [] should be valid")
+	}
+}
+
+func TestExtendImmutability(t *testing.T) {
+	p := FromNodes(2, 0)
+	q := p.Extend(1, 2)
+	if p.Len() != 1 {
+		t.Errorf("extending mutated the receiver: %s", p)
+	}
+	if q.Len() != 2 {
+		t.Errorf("q = %s, want 1->2->0", q)
+	}
+	// Extending p twice from the same base must not interfere.
+	q2 := p.Extend(3, 2)
+	if q.String() != "1->2->0" || q2.String() != "3->2->0" {
+		t.Errorf("aliasing between %s and %s", q, q2)
+	}
+}
+
+func TestContainsNodes(t *testing.T) {
+	p := FromNodes(1, 2, 0)
+	for _, v := range []int{0, 1, 2} {
+		if !p.Contains(v) {
+			t.Errorf("Contains(%d) = false", v)
+		}
+	}
+	if p.Contains(3) {
+		t.Error("Contains(3) = true")
+	}
+	got := p.Nodes()
+	want := []int{1, 2, 0}
+	if len(got) != len(want) {
+		t.Fatalf("Nodes() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Nodes()[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	// ⊥ greatest; shorter < longer; lexicographic tie-break.
+	a := FromNodes(1, 0)
+	b := FromNodes(2, 0)
+	c := FromNodes(1, 2, 0)
+	if a.Compare(b) >= 0 {
+		t.Error("1->0 should precede 2->0")
+	}
+	if b.Compare(c) >= 0 {
+		t.Error("shorter 2->0 should precede longer 1->2->0")
+	}
+	if c.Compare(Invalid) >= 0 {
+		t.Error("any valid path precedes ⊥")
+	}
+	if Empty.Compare(a) >= 0 {
+		t.Error("[] precedes non-empty paths")
+	}
+	if a.Compare(a) != 0 || Invalid.Compare(Invalid) != 0 {
+		t.Error("Compare(x,x) must be 0")
+	}
+}
+
+// randomPath draws a random path over n nodes for property tests.
+func randomPath(rng *rand.Rand, n int) Path {
+	if rng.Intn(6) == 0 {
+		return Invalid
+	}
+	perm := rng.Perm(n)
+	k := rng.Intn(n)
+	return FromNodes(perm[:k+1]...)
+}
+
+func TestCompareProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 2000; iter++ {
+		p, q, r := randomPath(rng, 6), randomPath(rng, 6), randomPath(rng, 6)
+		// Antisymmetry.
+		if p.Compare(q) != -q.Compare(p) {
+			t.Fatalf("antisymmetry: %s vs %s", p, q)
+		}
+		// Compare 0 iff Equal.
+		if (p.Compare(q) == 0) != p.Equal(q) {
+			t.Fatalf("Compare/Equal mismatch: %s vs %s", p, q)
+		}
+		// Transitivity on ≤.
+		if p.Compare(q) <= 0 && q.Compare(r) <= 0 && p.Compare(r) > 0 {
+			t.Fatalf("transitivity: %s ≤ %s ≤ %s but %s > %s", p, q, r, p, r)
+		}
+	}
+}
+
+func TestExtendKeepsSimple(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(2))}
+	f := func(seed int64, i, j uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPath(rng, 8)
+		q := p.Extend(int(i%8), int(j%8))
+		if q.IsInvalid() {
+			return true
+		}
+		// Result must be simple: no repeated nodes.
+		seen := map[int]bool{}
+		for _, v := range q.Nodes() {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		// And contiguous with source i.
+		if s, ok := q.Source(); !ok || s != int(i%8) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnumerateSimple(t *testing.T) {
+	// Number of simple paths to a fixed destination in K_n, including []:
+	// 1 + sum_{k=1}^{n-1} (n-1)!/(n-1-k)!.
+	wantCounts := map[int]int{2: 2, 3: 5, 4: 16, 5: 65}
+	for n, want := range wantCounts {
+		got := EnumerateSimple(n, 0)
+		if len(got) != want {
+			t.Errorf("EnumerateSimple(%d, 0): %d paths, want %d", n, len(got), want)
+		}
+		seen := map[string]bool{}
+		for _, p := range got {
+			if p.IsInvalid() {
+				t.Errorf("enumeration produced ⊥")
+			}
+			if seen[p.String()] {
+				t.Errorf("duplicate path %s", p)
+			}
+			seen[p.String()] = true
+			if !p.IsEmpty() {
+				if d, _ := p.Destination(); d != 0 {
+					t.Errorf("path %s does not end at 0", p)
+				}
+			}
+		}
+	}
+}
+
+func TestEnumerateAllSimple(t *testing.T) {
+	got := EnumerateAllSimple(3)
+	// []: 1; per dst (3 dsts): 4 non-empty each (5 - empty) = 12. Total 13.
+	if len(got) != 13 {
+		t.Errorf("EnumerateAllSimple(3): %d paths, want 13", len(got))
+	}
+	empties := 0
+	for _, p := range got {
+		if p.IsEmpty() {
+			empties++
+		}
+	}
+	if empties != 1 {
+		t.Errorf("empty path appears %d times, want exactly once", empties)
+	}
+}
+
+func TestFromArcsContiguity(t *testing.T) {
+	p := FromArcs(Arc{1, 2}, Arc{2, 3})
+	if p.String() != "1->2->3" {
+		t.Errorf("FromArcs = %s", p)
+	}
+	if q := FromArcs(Arc{1, 2}, Arc{3, 4}); !q.IsInvalid() {
+		t.Error("non-contiguous arcs must give ⊥")
+	}
+}
+
+func TestArcsCopy(t *testing.T) {
+	p := FromNodes(1, 2, 0)
+	arcs := p.Arcs()
+	arcs[0] = Arc{9, 9}
+	if p.String() != "1->2->0" {
+		t.Error("Arcs() must return a copy")
+	}
+}

@@ -1,0 +1,70 @@
+package policy
+
+import (
+	"repro/internal/core"
+	"repro/internal/paths"
+)
+
+// Algebra is the Section 7 routing algebra
+//
+//	(Route, ⊕, F, valid 0 ∅ [], invalid)
+//
+// with ⊕ the Compare-based decision procedure and F the set of edge
+// weights f_{i,j,pol}. It implements pathalg.PathAlgebra[Route].
+type Algebra struct{}
+
+// Choice implements ⊕ via the decision procedure of Section 7.1.
+func (Algebra) Choice(a, b Route) Route {
+	if a.Compare(b) <= 0 {
+		return a
+	}
+	return b
+}
+
+// Trivial implements 0 = valid 0 ∅ [].
+func (Algebra) Trivial() Route { return TrivialRoute }
+
+// Invalid implements ∞.
+func (Algebra) Invalid() Route { return InvalidRoute }
+
+// Equal implements route equality.
+func (Algebra) Equal(a, b Route) bool { return a.Compare(b) == 0 }
+
+// Format implements route rendering.
+func (Algebra) Format(r Route) string { return r.String() }
+
+// Path implements the path projection required of path algebras:
+//
+//	path invalid        = ⊥
+//	path (valid _ _ p)  = p
+func (Algebra) Path(r Route) paths.Path {
+	if r.invalid {
+		return paths.Invalid
+	}
+	return r.Path
+}
+
+// Edge builds the edge weight f_{i,j,pol} of Section 7.1:
+//
+//	f (i,j,pol) invalid = invalid
+//	f (i,j,pol) (valid x cs p) =
+//	  invalid                                   if (i,j) does not extend p
+//	  invalid                                   if i already appears in p
+//	  apply pol (valid x cs ((i,j) ∷ p))        otherwise
+//
+// The path is extended before the policy runs, so conditions can inspect
+// the new first hop.
+func (Algebra) Edge(i, j int, pol Policy) core.Edge[Route] {
+	name := pol.String()
+	return core.Fn[Route]("f("+name+")", func(r Route) Route {
+		if r.invalid {
+			return InvalidRoute
+		}
+		if !r.Path.CanExtend(i, j) {
+			return InvalidRoute
+		}
+		// Padding travels with the route: dropping it here would let an
+		// extension shorten the effective length and break increase.
+		return pol.Apply(Route{LPref: r.LPref, Comms: r.Comms, Path: r.Path.Extend(i, j), Pad: r.Pad})
+	})
+}

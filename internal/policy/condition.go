@@ -1,0 +1,55 @@
+package policy
+
+import "fmt"
+
+// Condition is the predicate language of Section 7:
+//
+//	data Condition : Set where
+//	  and or not inPath inComm lprefEq
+//
+// Conditions are pure: Eval never modifies the route.
+type Condition interface {
+	Eval(r Route) bool
+	String() string
+}
+
+type andCond struct{ l, r Condition }
+type orCond struct{ l, r Condition }
+type notCond struct{ c Condition }
+type inPathCond struct{ node int }
+type inCommCond struct{ c Community }
+type lprefEqCond struct{ v uint32 }
+
+// And is the conjunction of two conditions.
+func And(l, r Condition) Condition { return andCond{l, r} }
+
+// Or is the disjunction of two conditions.
+func Or(l, r Condition) Condition { return orCond{l, r} }
+
+// Not negates a condition.
+func Not(c Condition) Condition { return notCond{c} }
+
+// InPath holds when the given node appears in the route's path.
+func InPath(node int) Condition { return inPathCond{node} }
+
+// InComm holds when the route carries the given community.
+func InComm(c Community) Condition { return inCommCond{c} }
+
+// LPrefEq holds when the route's local preference equals v.
+func LPrefEq(v uint32) Condition { return lprefEqCond{v} }
+
+func (c andCond) Eval(r Route) bool    { return c.l.Eval(r) && c.r.Eval(r) }
+func (c orCond) Eval(r Route) bool     { return c.l.Eval(r) || c.r.Eval(r) }
+func (c notCond) Eval(r Route) bool    { return !c.c.Eval(r) }
+func (c inPathCond) Eval(r Route) bool { return !r.invalid && r.Path.Contains(c.node) }
+func (c inCommCond) Eval(r Route) bool { return !r.invalid && r.Comms.Has(c.c) }
+func (c lprefEqCond) Eval(r Route) bool {
+	return !r.invalid && r.LPref == c.v
+}
+
+func (c andCond) String() string     { return fmt.Sprintf("(%s ∧ %s)", c.l, c.r) }
+func (c orCond) String() string      { return fmt.Sprintf("(%s ∨ %s)", c.l, c.r) }
+func (c notCond) String() string     { return fmt.Sprintf("¬%s", c.c) }
+func (c inPathCond) String() string  { return fmt.Sprintf("inPath(%d)", c.node) }
+func (c inCommCond) String() string  { return fmt.Sprintf("inComm(%d)", c.c) }
+func (c lprefEqCond) String() string { return fmt.Sprintf("lpref=%d", c.v) }

@@ -1,0 +1,28 @@
+package policy_test
+
+import (
+	"fmt"
+
+	"repro/internal/paths"
+	"repro/internal/policy"
+)
+
+// ExampleParsePolicy parses and applies a conditional route map.
+func ExampleParsePolicy() {
+	pol, err := policy.ParsePolicy("addc(3); if (comm(3) & !path(9)) { lp+=10 }")
+	if err != nil {
+		panic(err)
+	}
+	r := policy.Valid(0, 0, paths.FromNodes(1, 0))
+	fmt.Println(pol.Apply(r))
+	// Output: ⟨lp=10 c={3} p=1->0⟩
+}
+
+// ExampleAlgebra_Edge shows the Section 7 edge weight rejecting a loop.
+func ExampleAlgebra_Edge() {
+	alg := policy.Algebra{}
+	edge := alg.Edge(2, 1, policy.Identity())
+	looping := policy.Valid(0, 0, paths.FromNodes(1, 2, 0)) // 2 already on the path
+	fmt.Println(edge.Apply(looping))
+	// Output: ∞
+}

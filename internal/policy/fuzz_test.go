@@ -1,0 +1,41 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzParsePolicy throws arbitrary strings at the parser: it must never
+// panic, and whatever parses must be an increasing policy when applied
+// through an edge (the language-level safety property).
+func FuzzParsePolicy(f *testing.F) {
+	f.Add("lp+=1")
+	f.Add("addc(3); if (comm(3) & !path(2)) { lp+=10 } else { reject }")
+	f.Add("if ((lp==0 | comm(1)) & !(path(3))) { delc(2) }")
+	f.Add("reject;;")
+	f.Add("if (comm(")
+	f.Fuzz(func(t *testing.T, src string) {
+		pol, err := ParsePolicy(src)
+		if err != nil {
+			return
+		}
+		alg := Algebra{}
+		e := alg.Edge(3, 1, pol)
+		rng := rand.New(rand.NewSource(int64(len(src))))
+		for k := 0; k < 16; k++ {
+			r := RandomRoute(rng, 4)
+			fr := e.Apply(r)
+			if alg.Equal(r, alg.Invalid()) {
+				if !alg.Equal(fr, alg.Invalid()) {
+					t.Fatalf("parsed policy %q resurrected ∞", src)
+				}
+				continue
+			}
+			if !core.Leq[Route](alg, r, fr) {
+				t.Fatalf("parsed policy %q is not increasing on %s → %s", src, r, fr)
+			}
+		}
+	})
+}

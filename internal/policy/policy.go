@@ -1,0 +1,132 @@
+package policy
+
+import "fmt"
+
+// Policy is the policy language of Section 7:
+//
+//	data Policy : Set₁ where
+//	  reject incrPrefBy addComm delComm compose condition
+//
+// Apply never returns a route more preferred than its argument: rejection
+// yields ∞ (the least preferred route), incrPrefBy can only raise the
+// numeric local preference (lower is better), and community edits do not
+// affect preference until a condition inspects them — at which point the
+// path has already grown. Consequently every edge weight built from a
+// Policy is increasing, and the algebra is safe by design.
+type Policy interface {
+	// Apply applies the policy; applying anything to the invalid route
+	// yields the invalid route.
+	Apply(r Route) Route
+	String() string
+}
+
+type rejectPolicy struct{}
+type prependPolicy struct{ by uint8 }
+type incrPrefPolicy struct{ by uint32 }
+type addCommPolicy struct{ c Community }
+type delCommPolicy struct{ c Community }
+type composePolicy struct{ p, q Policy }
+type conditionPolicy struct {
+	c Condition
+	p Policy
+}
+
+// Reject discards the route.
+func Reject() Policy { return rejectPolicy{} }
+
+// PrependBy pads the route's effective path length by k, the AS-path
+// prepending of the Section 7 closing remark: it makes the route less
+// attractive at step 3 of the decision procedure without touching the
+// path projection. Padding only accumulates, so it is increasing-safe.
+func PrependBy(k uint8) Policy { return prependPolicy{k} }
+
+// IncrPrefBy raises the local preference by x (making the route strictly
+// less preferred when x > 0). There is deliberately no way to lower it.
+func IncrPrefBy(x uint32) Policy { return incrPrefPolicy{x} }
+
+// AddComm tags the route with community c.
+func AddComm(c Community) Policy { return addCommPolicy{c} }
+
+// DelComm removes community c from the route.
+func DelComm(c Community) Policy { return delCommPolicy{c} }
+
+// Compose runs p then q.
+func Compose(p, q Policy) Policy { return composePolicy{p, q} }
+
+// If runs p only when the condition holds, otherwise leaves the route
+// unchanged: the route-map combinator of Equation 2.
+func If(c Condition, p Policy) Policy { return conditionPolicy{c, p} }
+
+// IfElse is the two-armed route map "if c then p else q", expressed with
+// the primitives: If(c, p) composed with If(¬c, q). Provided for
+// convenience when writing realistic route maps.
+func IfElse(c Condition, p, q Policy) Policy {
+	return Compose(If(c, p), If(Not(c), q))
+}
+
+// Identity leaves every route unchanged (incrPrefBy 0).
+func Identity() Policy { return incrPrefPolicy{0} }
+
+func (rejectPolicy) Apply(Route) Route { return InvalidRoute }
+
+func (p prependPolicy) Apply(r Route) Route {
+	if r.invalid {
+		return InvalidRoute
+	}
+	pad := int(r.Pad) + int(p.by)
+	if pad > 255 {
+		pad = 255
+	}
+	r.Pad = uint8(pad)
+	return r
+}
+
+func (p incrPrefPolicy) Apply(r Route) Route {
+	if r.invalid {
+		return InvalidRoute
+	}
+	lp := r.LPref + p.by
+	if lp < r.LPref { // saturate on wrap-around
+		lp = ^uint32(0)
+	}
+	r.LPref = lp // field update on the copy: every other attribute rides along
+	return r
+}
+
+func (p addCommPolicy) Apply(r Route) Route {
+	if r.invalid {
+		return InvalidRoute
+	}
+	r.Comms = r.Comms.Add(p.c)
+	return r
+}
+
+func (p delCommPolicy) Apply(r Route) Route {
+	if r.invalid {
+		return InvalidRoute
+	}
+	r.Comms = r.Comms.Remove(p.c)
+	return r
+}
+
+func (p composePolicy) Apply(r Route) Route { return p.q.Apply(p.p.Apply(r)) }
+
+func (p conditionPolicy) Apply(r Route) Route {
+	if r.invalid {
+		return InvalidRoute
+	}
+	if p.c.Eval(r) {
+		return p.p.Apply(r)
+	}
+	return r
+}
+
+func (rejectPolicy) String() string     { return "reject" }
+func (p prependPolicy) String() string  { return fmt.Sprintf("prepend(%d)", p.by) }
+func (p incrPrefPolicy) String() string { return fmt.Sprintf("lp+=%d", p.by) }
+func (p addCommPolicy) String() string  { return fmt.Sprintf("addComm(%d)", p.c) }
+func (p delCommPolicy) String() string  { return fmt.Sprintf("delComm(%d)", p.c) }
+func (p composePolicy) String() string  { return fmt.Sprintf("%s; %s", p.p, p.q) }
+func (p conditionPolicy) String() string {
+	return fmt.Sprintf("if %s then [%s]", p.c, p.p)
+}

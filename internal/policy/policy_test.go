@@ -1,0 +1,285 @@
+package policy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/paths"
+)
+
+func TestCommunitySet(t *testing.T) {
+	s := NewCommunitySet(1, 5, 63)
+	for _, c := range []Community{1, 5, 63} {
+		if !s.Has(c) {
+			t.Errorf("missing community %d", c)
+		}
+	}
+	if s.Has(2) {
+		t.Error("unexpected community 2")
+	}
+	s = s.Remove(5)
+	if s.Has(5) {
+		t.Error("community 5 not removed")
+	}
+	if got := len(s.Members()); got != 2 {
+		t.Errorf("Members: %d, want 2", got)
+	}
+	if str := NewCommunitySet(3).String(); str != "{3}" {
+		t.Errorf("String = %s", str)
+	}
+}
+
+func TestRouteCompareDecisionProcedure(t *testing.T) {
+	p10 := paths.FromNodes(1, 0)
+	p20 := paths.FromNodes(2, 0)
+	p210 := paths.FromNodes(2, 1, 0)
+	tests := []struct {
+		name string
+		a, b Route
+		want int // -1: a preferred
+	}{
+		{"invalid loses", InvalidRoute, Valid(9, 0, p10), 1},
+		{"lower lpref wins", Valid(1, 0, p210), Valid(2, 0, p10), -1},
+		{"shorter path wins on equal lpref", Valid(1, 0, p10), Valid(1, 0, p210), -1},
+		{"lex path tie-break", Valid(1, 0, p10), Valid(1, 0, p20), -1},
+		{"comms tie-break", Valid(1, NewCommunitySet(1), p10), Valid(1, NewCommunitySet(2), p10), -1},
+		{"equal routes", Valid(1, 0, p10), Valid(1, 0, p10), 0},
+		{"both invalid", InvalidRoute, InvalidRoute, 0},
+	}
+	for _, tc := range tests {
+		if got := tc.a.Compare(tc.b); got != tc.want {
+			t.Errorf("%s: Compare = %d, want %d", tc.name, got, tc.want)
+		}
+		if got := tc.b.Compare(tc.a); got != -tc.want {
+			t.Errorf("%s: reverse Compare = %d, want %d", tc.name, got, -tc.want)
+		}
+	}
+}
+
+func TestConditionEvaluation(t *testing.T) {
+	r := Valid(3, NewCommunitySet(2, 7), paths.FromNodes(1, 4, 0))
+	tests := []struct {
+		c    Condition
+		want bool
+	}{
+		{InPath(4), true},
+		{InPath(9), false},
+		{InComm(2), true},
+		{InComm(3), false},
+		{LPrefEq(3), true},
+		{LPrefEq(4), false},
+		{And(InPath(4), InComm(2)), true},
+		{And(InPath(4), InComm(3)), false},
+		{Or(InPath(9), InComm(7)), true},
+		{Not(InPath(9)), true},
+		{Not(Not(InComm(2))), true},
+	}
+	for _, tc := range tests {
+		if got := tc.c.Eval(r); got != tc.want {
+			t.Errorf("%s on %s = %v, want %v", tc.c, r, got, tc.want)
+		}
+	}
+	// Conditions on the invalid route are all false (no fields to read).
+	for _, c := range []Condition{InPath(1), InComm(1), LPrefEq(0)} {
+		if c.Eval(InvalidRoute) {
+			t.Errorf("%s must be false on ∞", c)
+		}
+	}
+}
+
+func TestPolicySemantics(t *testing.T) {
+	r := Valid(1, NewCommunitySet(1), paths.FromNodes(1, 0))
+	if got := Reject().Apply(r); !got.IsInvalid() {
+		t.Error("reject must yield ∞")
+	}
+	if got := IncrPrefBy(4).Apply(r); got.LPref != 5 {
+		t.Errorf("incrPrefBy: lpref = %d, want 5", got.LPref)
+	}
+	if got := AddComm(9).Apply(r); !got.Comms.Has(9) {
+		t.Error("addComm failed")
+	}
+	if got := DelComm(1).Apply(r); got.Comms.Has(1) {
+		t.Error("delComm failed")
+	}
+	composed := Compose(AddComm(5), IncrPrefBy(2))
+	if got := composed.Apply(r); !got.Comms.Has(5) || got.LPref != 3 {
+		t.Errorf("compose: %s", got)
+	}
+	// Condition applies policy only when true (Equation 2 route map).
+	cond := If(InComm(1), IncrPrefBy(10))
+	if got := cond.Apply(r); got.LPref != 11 {
+		t.Errorf("condition true branch: lpref = %d", got.LPref)
+	}
+	r2 := Valid(1, 0, paths.FromNodes(1, 0))
+	if got := cond.Apply(r2); got.LPref != 1 {
+		t.Errorf("condition false branch must not modify: lpref = %d", got.LPref)
+	}
+	ifElse := IfElse(InComm(1), IncrPrefBy(10), IncrPrefBy(20))
+	if got := ifElse.Apply(r); got.LPref != 11 {
+		t.Errorf("ifElse then: %d", got.LPref)
+	}
+	if got := ifElse.Apply(r2); got.LPref != 21 {
+		t.Errorf("ifElse else: %d", got.LPref)
+	}
+	// Everything fixes ∞.
+	for _, p := range []Policy{Reject(), IncrPrefBy(1), AddComm(1), DelComm(1), composed, cond} {
+		if got := p.Apply(InvalidRoute); !got.IsInvalid() {
+			t.Errorf("%s must fix ∞", p)
+		}
+	}
+}
+
+func TestLPrefSaturation(t *testing.T) {
+	r := Valid(^uint32(0)-1, 0, paths.FromNodes(1, 0))
+	got := IncrPrefBy(5).Apply(r)
+	if got.LPref != ^uint32(0) {
+		t.Errorf("lpref must saturate at max, got %d", got.LPref)
+	}
+}
+
+func sampleRoutes() []Route {
+	return []Route{
+		TrivialRoute,
+		InvalidRoute,
+		Valid(0, 0, paths.FromNodes(1, 0)),
+		Valid(1, NewCommunitySet(2), paths.FromNodes(2, 0)),
+		Valid(2, NewCommunitySet(1, 3), paths.FromNodes(2, 1, 0)),
+		Valid(5, 0, paths.FromNodes(3, 2, 0)),
+	}
+}
+
+func edgeSample() []core.Edge[Route] {
+	alg := Algebra{}
+	return []core.Edge[Route]{
+		alg.Edge(3, 1, Identity()),
+		alg.Edge(3, 1, IncrPrefBy(2)),
+		alg.Edge(3, 1, Reject()),
+		alg.Edge(3, 1, If(InComm(2), IncrPrefBy(1))),
+		alg.Edge(3, 1, Compose(AddComm(4), DelComm(2))),
+	}
+}
+
+func TestAlgebraRequiredLaws(t *testing.T) {
+	s := core.Sample[Route]{Routes: sampleRoutes(), Edges: edgeSample()}
+	if err := core.CheckRequired[Route](Algebra{}, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgebraStrictlyIncreasing(t *testing.T) {
+	s := core.Sample[Route]{Routes: sampleRoutes(), Edges: edgeSample()}
+	rep := core.Check[Route](Algebra{}, core.StrictlyIncreasing, s)
+	if !rep.Holds {
+		t.Fatalf("Section 7 algebra must be strictly increasing: %s", rep.Counterexample)
+	}
+}
+
+func TestRandomPoliciesAlwaysIncreasing(t *testing.T) {
+	// The safe-by-design claim: no expressible policy can violate the
+	// increasing condition. Fuzz a few thousand random programs.
+	alg := Algebra{}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 3000; trial++ {
+		pol := RandomPolicy(rng, 5, 3)
+		i, j := rng.Intn(5), rng.Intn(5)
+		if i == j {
+			continue
+		}
+		e := alg.Edge(i, j, pol)
+		r := RandomRoute(rng, 5)
+		fr := e.Apply(r)
+		if alg.Equal(r, alg.Invalid()) {
+			if !alg.Equal(fr, alg.Invalid()) {
+				t.Fatalf("policy %s does not fix ∞", pol)
+			}
+			continue
+		}
+		if !core.Less[Route](alg, r, fr) && !alg.Equal(fr, alg.Invalid()) {
+			t.Fatalf("policy %s, route %s: f(r)=%s is not worse", pol, r, fr)
+		}
+	}
+}
+
+func TestEdgeLoopAndContiguityRejection(t *testing.T) {
+	alg := Algebra{}
+	e := alg.Edge(1, 2, Identity())
+	loop := Valid(0, 0, paths.FromNodes(2, 1, 0))
+	if got := e.Apply(loop); !got.IsInvalid() {
+		t.Errorf("looping extension must be rejected, got %s", got)
+	}
+	wrongHead := Valid(0, 0, paths.FromNodes(3, 0))
+	if got := e.Apply(wrongHead); !got.IsInvalid() {
+		t.Errorf("non-contiguous extension must be rejected, got %s", got)
+	}
+	good := Valid(0, 0, paths.FromNodes(2, 0))
+	got := e.Apply(good)
+	if got.IsInvalid() || got.Path.String() != "1->2->0" {
+		t.Errorf("legal extension produced %s", got)
+	}
+}
+
+func TestPolicySeesExtendedPath(t *testing.T) {
+	// The path is extended before the policy runs, so conditions can
+	// match the new first hop.
+	alg := Algebra{}
+	e := alg.Edge(1, 2, If(InPath(1), IncrPrefBy(7)))
+	r := Valid(0, 0, paths.FromNodes(2, 0))
+	got := e.Apply(r)
+	if got.LPref != 7 {
+		t.Errorf("condition must see node 1 in the extended path; lpref = %d", got.LPref)
+	}
+}
+
+func TestPolicyNetworkConvergesDeterministically(t *testing.T) {
+	// A 4-node ring with conditional policies: synchronous iteration
+	// reaches a unique fixed point from the clean state and from garbage.
+	alg := Algebra{}
+	adj := matrix.NewAdjacency[Route](4)
+	pol := func(i int) Policy {
+		return Compose(AddComm(Community(i)), If(InComm(Community((i+1)%4)), IncrPrefBy(1)))
+	}
+	for i := 0; i < 4; i++ {
+		j := (i + 1) % 4
+		adj.SetEdge(i, j, alg.Edge(i, j, pol(i)))
+		adj.SetEdge(j, i, alg.Edge(j, i, pol(j)))
+	}
+	want, _, ok := matrix.FixedPoint[Route](alg, adj, matrix.Identity[Route](alg, 4), 100)
+	if !ok {
+		t.Fatal("clean start must converge")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		start := matrix.RandomState(rng, 4, func(rng *rand.Rand, i, j int) Route {
+			return RandomRoute(rng, 4)
+		})
+		got, _, ok := matrix.FixedPoint[Route](alg, adj, start, 400)
+		if !ok {
+			t.Fatalf("trial %d did not converge", trial)
+		}
+		if !got.Equal(alg, want) {
+			t.Fatalf("trial %d: different fixed point", trial)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	pol := IfElse(And(InComm(1), Not(InPath(2))), Reject(), IncrPrefBy(3))
+	s := pol.String()
+	for _, frag := range []string{"inComm(1)", "inPath(2)", "reject", "lp+=3"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("policy string %q missing %q", s, frag)
+		}
+	}
+	if !strings.Contains(InvalidRoute.String(), "∞") {
+		t.Error("invalid route should render as ∞")
+	}
+}
+
+func TestValidWithBotPathIsInvalid(t *testing.T) {
+	if !Valid(1, 0, paths.Invalid).IsInvalid() {
+		t.Error("Valid(⊥) must collapse to ∞ (P1)")
+	}
+}

@@ -1,0 +1,124 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/paths"
+)
+
+func TestPrependSemantics(t *testing.T) {
+	r := Valid(1, 0, paths.FromNodes(1, 0))
+	out := PrependBy(3).Apply(r)
+	if out.Pad != 3 {
+		t.Fatalf("pad = %d, want 3", out.Pad)
+	}
+	if out.EffectiveLength() != 4 {
+		t.Errorf("effective length = %d, want 4", out.EffectiveLength())
+	}
+	// Padding accumulates and saturates.
+	out = PrependBy(255).Apply(out)
+	if out.Pad != 255 {
+		t.Errorf("pad should saturate at 255, got %d", out.Pad)
+	}
+	// ∞ is fixed.
+	if !PrependBy(2).Apply(InvalidRoute).IsInvalid() {
+		t.Error("prepend must fix ∞")
+	}
+	// The path projection is untouched — the paper's "strip the padding".
+	if !out.Path.Equal(paths.FromNodes(1, 0)) {
+		t.Error("padding must not alter the path projection")
+	}
+}
+
+func TestPrependChangesSelection(t *testing.T) {
+	// Classic traffic engineering: equal-lpref routes, the padded one
+	// loses even though its real path is shorter.
+	alg := Algebra{}
+	short := Valid(0, 0, paths.FromNodes(1, 0))
+	short.Pad = 3                                 // effective length 4
+	long := Valid(0, 0, paths.FromNodes(2, 3, 0)) // effective length 2
+	if got := alg.Choice(short, long); !alg.Equal(got, long) {
+		t.Errorf("padded route must lose: got %s", got)
+	}
+}
+
+func TestPrependParses(t *testing.T) {
+	pol, err := ParsePolicy("prepend(2); if (comm(1)) { prepend(1) }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Valid(0, NewCommunitySet(1), paths.FromNodes(1, 0))
+	out := pol.Apply(r)
+	if out.Pad != 3 {
+		t.Errorf("parsed prepend chain gave pad %d, want 3", out.Pad)
+	}
+	if _, err := ParsePolicy("prepend(300)"); err == nil {
+		t.Error("out-of-range prepend must fail to parse")
+	}
+}
+
+func TestPrependPreservesStrictIncrease(t *testing.T) {
+	alg := Algebra{}
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 2000; trial++ {
+		pol := Compose(PrependBy(uint8(rng.Intn(3))), RandomPolicy(rng, 4, 2))
+		i, j := rng.Intn(4), rng.Intn(4)
+		if i == j {
+			continue
+		}
+		e := alg.Edge(i, j, pol)
+		r := RandomRoute(rng, 4)
+		fr := e.Apply(r)
+		if alg.Equal(r, alg.Invalid()) {
+			continue
+		}
+		if !core.Less[Route](alg, r, fr) && !alg.Equal(fr, alg.Invalid()) {
+			t.Fatalf("prepending broke strict increase: %s → %s under %s", r, fr, pol)
+		}
+	}
+}
+
+func TestPrependTrafficEngineeringConverges(t *testing.T) {
+	// A 4-ring where node 0 prepends on one side to steer traffic the
+	// other way; the network still converges absolutely and node 2
+	// prefers the unpadded direction.
+	alg := Algebra{}
+	adj := matrix.NewAdjacency[Route](4)
+	plain := Identity()
+	steer := PrependBy(2)
+	link := func(i, j int, pol Policy) { adj.SetEdge(i, j, alg.Edge(i, j, pol)) }
+	// Ring 0-1-2-3-0; adverts from 0 towards 1 are padded.
+	link(1, 0, steer)
+	link(0, 1, plain)
+	link(2, 1, plain)
+	link(1, 2, plain)
+	link(3, 2, plain)
+	link(2, 3, plain)
+	link(0, 3, plain)
+	link(3, 0, plain)
+
+	want, _, ok := matrix.FixedPoint[Route](alg, adj, matrix.Identity[Route](alg, 4), 100)
+	if !ok {
+		t.Fatal("must converge")
+	}
+	// Node 2's route to 0: via 3 (2 real hops, no pad) rather than via 1
+	// (2 real hops + 2 pad).
+	r := want.Get(2, 0)
+	if !r.Path.Equal(paths.FromNodes(2, 3, 0)) {
+		t.Errorf("node 2 should route to 0 via 3, got %s", r)
+	}
+	// Absolute convergence with prepending in play.
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 20; trial++ {
+		start := matrix.RandomState(rng, 4, func(rng *rand.Rand, _, _ int) Route {
+			return RandomRoute(rng, 4)
+		})
+		got, _, ok := matrix.FixedPoint[Route](alg, adj, start, 300)
+		if !ok || !got.Equal(alg, want) {
+			t.Fatalf("trial %d: absolute convergence failed with prepending", trial)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package policy
+
+import (
+	"math/rand"
+
+	"repro/internal/paths"
+)
+
+// RandomCondition draws a random condition of bounded depth over a network
+// of n nodes, exercising every constructor of the predicate language.
+func RandomCondition(rng *rand.Rand, n, depth int) Condition {
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return InPath(rng.Intn(n))
+		case 1:
+			return InComm(Community(rng.Intn(8)))
+		default:
+			return LPrefEq(uint32(rng.Intn(4)))
+		}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return And(RandomCondition(rng, n, depth-1), RandomCondition(rng, n, depth-1))
+	case 1:
+		return Or(RandomCondition(rng, n, depth-1), RandomCondition(rng, n, depth-1))
+	case 2:
+		return Not(RandomCondition(rng, n, depth-1))
+	default:
+		return RandomCondition(rng, n, 0)
+	}
+}
+
+// RandomPolicy draws a random policy program of bounded depth. Whatever it
+// returns is increasing by construction — this is the point of the
+// safe-by-design language, and experiment E7 runs the protocol under
+// thousands of such programs.
+func RandomPolicy(rng *rand.Rand, n, depth int) Policy {
+	if depth <= 0 {
+		switch rng.Intn(6) {
+		case 0:
+			return Reject()
+		case 1:
+			return IncrPrefBy(uint32(1 + rng.Intn(3)))
+		case 2:
+			return AddComm(Community(rng.Intn(8)))
+		case 3:
+			return DelComm(Community(rng.Intn(8)))
+		case 4:
+			return PrependBy(uint8(1 + rng.Intn(3)))
+		default:
+			return Identity()
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return Compose(RandomPolicy(rng, n, depth-1), RandomPolicy(rng, n, depth-1))
+	case 1:
+		return If(RandomCondition(rng, n, depth-1), RandomPolicy(rng, n, depth-1))
+	case 2:
+		return IfElse(RandomCondition(rng, n, depth-1),
+			RandomPolicy(rng, n, depth-1), RandomPolicy(rng, n, depth-1))
+	default:
+		return RandomPolicy(rng, n, 0)
+	}
+}
+
+// RandomRoute draws a random route (valid or invalid) over n nodes, used by
+// property-based tests and by arbitrary-starting-state experiments.
+func RandomRoute(rng *rand.Rand, n int) Route {
+	if rng.Intn(8) == 0 {
+		return InvalidRoute
+	}
+	// Random simple path towards a random destination.
+	dst := rng.Intn(n)
+	p := randomSimplePath(rng, n, dst)
+	var comms CommunitySet
+	for c := 0; c < 8; c++ {
+		if rng.Intn(4) == 0 {
+			comms = comms.Add(Community(c))
+		}
+	}
+	r := Valid(uint32(rng.Intn(6)), comms, p)
+	if rng.Intn(4) == 0 {
+		r.Pad = uint8(rng.Intn(4))
+	}
+	return r
+}
+
+func randomSimplePath(rng *rand.Rand, n, dst int) paths.Path {
+	p := paths.Empty
+	head := dst
+	used := map[int]bool{dst: true}
+	for steps := rng.Intn(n); steps > 0; steps-- {
+		i := rng.Intn(n)
+		if used[i] {
+			continue
+		}
+		q := p.Extend(i, head)
+		if q.IsInvalid() {
+			break
+		}
+		p, head, used[i] = q, i, true
+	}
+	return p
+}

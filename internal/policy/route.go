@@ -1,0 +1,174 @@
+// Package policy implements the safe-by-design path-vector algebra of
+// Section 7 of the paper: BGP-like routes carrying a local preference, a
+// community set and a simple path; a predicate language of conditions; a
+// policy language whose programs can reject routes, raise (never lower)
+// local preference, and edit communities; and edge weights f_{i,j,pol}
+// combining loop rejection with policy application.
+//
+// Because local preference can only increase and the path always grows, it
+// is impossible to write a policy that violates the increasing condition —
+// the algebra is safe by design, and Theorem 11 guarantees the protocol it
+// induces converges absolutely (experiment E7).
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/paths"
+)
+
+// Community is a BGP-community-like route tag. Communities are small
+// integers 0..63 so a set packs into one word.
+type Community uint8
+
+// MaxCommunity is the largest representable community value.
+const MaxCommunity Community = 63
+
+// CommunitySet is a set of communities, packed as a bitset.
+type CommunitySet uint64
+
+// NewCommunitySet builds a set from its members.
+func NewCommunitySet(cs ...Community) CommunitySet {
+	var s CommunitySet
+	for _, c := range cs {
+		s = s.Add(c)
+	}
+	return s
+}
+
+// Add returns the set with c added.
+func (s CommunitySet) Add(c Community) CommunitySet { return s | 1<<uint(c&63) }
+
+// Remove returns the set with c removed.
+func (s CommunitySet) Remove(c Community) CommunitySet { return s &^ (1 << uint(c&63)) }
+
+// Has reports membership of c.
+func (s CommunitySet) Has(c Community) bool { return s&(1<<uint(c&63)) != 0 }
+
+// Members lists the communities in ascending order.
+func (s CommunitySet) Members() []Community {
+	var out []Community
+	for c := Community(0); c <= MaxCommunity; c++ {
+		if s.Has(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String renders the set as {a,b,c}.
+func (s CommunitySet) String() string {
+	ms := s.Members()
+	parts := make([]string, len(ms))
+	for i, c := range ms {
+		parts[i] = fmt.Sprintf("%d", c)
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Route is a route of the Section 7 algebra:
+//
+//	data Route : Set where
+//	  invalid : Route
+//	  valid   : LPref → CommunitySet → SimplePath n → Route
+//
+// The zero value is the trivial route "valid 0 ∅ []". Lower LPref is more
+// preferred; policies may only increase it.
+//
+// Pad implements the AS-path-prepending extension sketched at the end of
+// Section 7: padding inflates the length the decision procedure sees
+// (step 3 compares Path.Len()+Pad) without appearing in the path
+// projection — exactly the paper's "adjust the path function to strip out
+// padded ASes". Because padding can only grow, it cannot break the
+// increasing property.
+type Route struct {
+	invalid bool
+	LPref   uint32
+	Comms   CommunitySet
+	Path    paths.Path
+	Pad     uint8
+}
+
+// InvalidRoute is the invalid route ∞.
+var InvalidRoute = Route{invalid: true}
+
+// TrivialRoute is the trivial route 0 = valid 0 ∅ [].
+var TrivialRoute = Route{}
+
+// Valid constructs a valid route. If p is ⊥ the result is the invalid
+// route, preserving P1.
+func Valid(lpref uint32, comms CommunitySet, p paths.Path) Route {
+	if p.IsInvalid() {
+		return InvalidRoute
+	}
+	return Route{LPref: lpref, Comms: comms, Path: p}
+}
+
+// IsInvalid reports whether r is the invalid route.
+func (r Route) IsInvalid() bool { return r.invalid }
+
+// EffectiveLength is the path length the decision procedure compares:
+// the real path plus any prepending padding.
+func (r Route) EffectiveLength() int { return r.Path.Len() + int(r.Pad) }
+
+// String renders the route.
+func (r Route) String() string {
+	if r.invalid {
+		return "∞"
+	}
+	if r.Pad > 0 {
+		return fmt.Sprintf("⟨lp=%d c=%s p=%s+%d⟩", r.LPref, r.Comms, r.Path, r.Pad)
+	}
+	return fmt.Sprintf("⟨lp=%d c=%s p=%s⟩", r.LPref, r.Comms, r.Path)
+}
+
+// Compare orders routes by the Section 7 decision procedure:
+//
+//  1. an invalid route loses to any valid route;
+//  2. strictly lower local preference wins;
+//  3. a strictly shorter *effective* path (real length plus prepending
+//     padding) wins;
+//  4. ties break by lexicographic path comparison;
+//  5. (beyond the paper, to make ⊕ selective on routes that differ only in
+//     communities or padding) ties break by community set, then padding.
+//
+// It returns -1 if r is preferred, +1 if s is preferred, and 0 iff r = s.
+func (r Route) Compare(s Route) int {
+	switch {
+	case r.invalid && s.invalid:
+		return 0
+	case r.invalid:
+		return 1
+	case s.invalid:
+		return -1
+	}
+	switch {
+	case r.LPref < s.LPref:
+		return -1
+	case r.LPref > s.LPref:
+		return 1
+	}
+	switch {
+	case r.EffectiveLength() < s.EffectiveLength():
+		return -1
+	case r.EffectiveLength() > s.EffectiveLength():
+		return 1
+	}
+	if d := r.Path.Compare(s.Path); d != 0 {
+		return d
+	}
+	switch {
+	case r.Comms < s.Comms:
+		return -1
+	case r.Comms > s.Comms:
+		return 1
+	case r.Pad < s.Pad:
+		return -1
+	case r.Pad > s.Pad:
+		return 1
+	}
+	return 0
+}

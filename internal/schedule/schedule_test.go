@@ -1,0 +1,123 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSynchronousSchedule(t *testing.T) {
+	s := Synchronous(3, 10)
+	if err := s.Validate(1, 1); err != nil {
+		t.Fatalf("synchronous schedule must satisfy the tightest bounds: %v", err)
+	}
+	for tt := 1; tt <= 10; tt++ {
+		for i := 0; i < 3; i++ {
+			if !s.Active(tt, i) {
+				t.Fatalf("node %d inactive at t=%d", i, tt)
+			}
+			for j := 0; j < 3; j++ {
+				if s.Beta(tt, i, j) != tt-1 {
+					t.Fatalf("β(%d,%d,%d) = %d, want %d", tt, i, j, s.Beta(tt, i, j), tt-1)
+				}
+			}
+		}
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	s := RoundRobin(3, 9)
+	if err := s.Validate(3, 1); err != nil {
+		t.Fatalf("round robin: %v", err)
+	}
+	count := make([]int, 3)
+	for tt := 1; tt <= 9; tt++ {
+		for i := 0; i < 3; i++ {
+			if s.Active(tt, i) {
+				count[i]++
+			}
+		}
+	}
+	for i, c := range count {
+		if c != 3 {
+			t.Errorf("node %d activated %d times, want 3", i, c)
+		}
+	}
+}
+
+func TestRandomScheduleValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		opts := Options{ActivationProb: 0.3, MaxGap: 6, MaxStaleness: 5}
+		s := Random(rng, 4, 100, opts)
+		if err := s.Validate(opts.MaxGap, opts.MaxStaleness); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestAdversarialScheduleValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		s := Adversarial(rng, 4, 120, 7, 9)
+		if err := s.Validate(7, 9); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestValidateCatchesS1(t *testing.T) {
+	s := New(2, 10) // nobody ever activates
+	if err := s.Validate(3, 10); err == nil {
+		t.Error("S1 violation not caught")
+	}
+}
+
+func TestValidateCatchesS3(t *testing.T) {
+	s := Synchronous(2, 10)
+	s.SetBeta(9, 0, 1, 0) // 9 steps stale
+	if err := s.Validate(1, 3); err == nil {
+		t.Error("S3 violation not caught")
+	}
+}
+
+func TestSetBetaEnforcesS2(t *testing.T) {
+	s := New(2, 5)
+	defer func() {
+		if recover() == nil {
+			t.Error("β(t) ≥ t must panic (S2)")
+		}
+	}()
+	s.SetBeta(3, 0, 1, 3)
+}
+
+func TestRandomScheduleExhibitsReordering(t *testing.T) {
+	// β need not be monotone in t: find an inversion, which corresponds
+	// to an older message overtaking a newer one.
+	rng := rand.New(rand.NewSource(3))
+	s := Random(rng, 3, 200, Options{MaxStaleness: 10})
+	found := false
+	for tt := 2; tt <= 200 && !found; tt++ {
+		if s.Beta(tt, 0, 1) < s.Beta(tt-1, 0, 1) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("random schedule never reordered; staleness window too tight?")
+	}
+}
+
+func TestRandomScheduleExhibitsDuplication(t *testing.T) {
+	// The same β value used at two different times = the same message
+	// processed twice.
+	rng := rand.New(rand.NewSource(4))
+	s := Random(rng, 3, 200, Options{MaxStaleness: 10})
+	found := false
+	for tt := 2; tt <= 200 && !found; tt++ {
+		if s.Beta(tt, 0, 1) == s.Beta(tt-1, 0, 1) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("random schedule never duplicated")
+	}
+}

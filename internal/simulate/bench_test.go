@@ -1,0 +1,46 @@
+package simulate
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/algebras"
+	"repro/internal/matrix"
+	"repro/internal/topology"
+)
+
+func BenchmarkRunRing(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			alg := algebras.RIP()
+			g := topology.Ring(n)
+			adj := topology.BuildUniform[algebras.NatInf](g, alg.AddEdge(1))
+			start := matrix.Identity[algebras.NatInf](alg, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := Run[algebras.NatInf](alg, adj, start, Config{
+					Seed: int64(i), LossProb: 0.1, DupProb: 0.05,
+				}, nil)
+				if !out.Converged {
+					b.Fatal("did not converge")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRunHeavyFaults(b *testing.B) {
+	alg := algebras.RIP()
+	g := topology.Ring(6)
+	adj := topology.BuildUniform[algebras.NatInf](g, alg.AddEdge(1))
+	start := matrix.Identity[algebras.NatInf](alg, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := Run[algebras.NatInf](alg, adj, start, Config{
+			Seed: int64(i), LossProb: 0.4, DupProb: 0.3, MaxDelay: 30,
+		}, nil)
+		if !out.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package simulate
+
+import (
+	"testing"
+
+	"repro/internal/algebras"
+	"repro/internal/matrix"
+	"repro/internal/pathalg"
+)
+
+// TestDynamicLinkFailureAndRecovery exercises the Section 3.2 story: the
+// network converges, a link dies (stale routes remain), the protocol
+// re-converges on the new topology, the link returns, and the protocol
+// re-converges again — all within one simulator run.
+func TestDynamicLinkFailureAndRecovery(t *testing.T) {
+	alg := algebras.HopCount{Limit: 7}
+	adj := matrix.NewAdjacency[algebras.NatInf](4)
+	link := func(a *matrix.Adjacency[algebras.NatInf], i, j int) {
+		a.SetEdge(i, j, alg.AddEdge(1))
+		a.SetEdge(j, i, alg.AddEdge(1))
+	}
+	link(adj, 0, 1)
+	link(adj, 1, 2)
+	link(adj, 2, 3)
+	link(adj, 3, 0)
+
+	// Expected final topology = original (the link comes back).
+	want, _, _ := matrix.FixedPoint[algebras.NatInf](alg, adj, matrix.Identity[algebras.NatInf](alg, 4), 100)
+
+	out := RunDynamic[algebras.NatInf](alg, adj, matrix.Identity[algebras.NatInf](alg, 4), Config{
+		Seed:     77,
+		LossProb: 0.15,
+		MaxTime:  500_000,
+	}, nil, []Change[algebras.NatInf]{
+		{Time: 150, Mutate: func(a *matrix.Adjacency[algebras.NatInf]) {
+			a.RemoveEdge(1, 2)
+			a.RemoveEdge(2, 1)
+		}},
+		{Time: 400, Mutate: func(a *matrix.Adjacency[algebras.NatInf]) {
+			link(a, 1, 2)
+		}},
+	})
+	if !out.Converged {
+		t.Fatalf("did not converge: %s", out.Describe())
+	}
+	if !out.Final.Equal(alg, want) {
+		t.Fatalf("final state differs from the restored-topology fixed point:\n%s", out.Final.Format(alg))
+	}
+}
+
+// TestDynamicPermanentPartition removes a node's only links and checks the
+// survivors re-converge to the partitioned fixed point.
+func TestDynamicPermanentPartition(t *testing.T) {
+	alg := algebras.HopCount{Limit: 7}
+	adj := matrix.NewAdjacency[algebras.NatInf](4)
+	link := func(a *matrix.Adjacency[algebras.NatInf], i, j int) {
+		a.SetEdge(i, j, alg.AddEdge(1))
+		a.SetEdge(j, i, alg.AddEdge(1))
+	}
+	link(adj, 0, 1)
+	link(adj, 1, 2)
+	link(adj, 2, 3)
+
+	// Post-change topology: node 3 isolated.
+	after := adj.Clone()
+	after.RemoveEdge(2, 3)
+	after.RemoveEdge(3, 2)
+	want, _, _ := matrix.FixedPoint[algebras.NatInf](alg, after, matrix.Identity[algebras.NatInf](alg, 4), 100)
+
+	out := RunDynamic[algebras.NatInf](alg, adj, matrix.Identity[algebras.NatInf](alg, 4), Config{
+		Seed: 78,
+	}, nil, []Change[algebras.NatInf]{
+		{Time: 120, Mutate: func(a *matrix.Adjacency[algebras.NatInf]) {
+			a.RemoveEdge(2, 3)
+			a.RemoveEdge(3, 2)
+		}},
+	})
+	if !out.Converged {
+		t.Fatalf("did not converge: %s", out.Describe())
+	}
+	if !out.Final.Equal(alg, want) {
+		t.Fatalf("wrong partitioned fixed point; got\n%s\nwant\n%s",
+			out.Final.Format(alg), want.Format(alg))
+	}
+	if got := out.Final.Get(0, 3); got != algebras.Inf {
+		t.Errorf("route to isolated node should be ∞, got %v", got)
+	}
+}
+
+// TestDynamicPathVectorFlush checks that a topology change that strands a
+// path-vector route gets flushed after the change — stale inconsistent
+// routes are the whole reason Section 3.2 demands convergence from
+// arbitrary states.
+func TestDynamicPathVectorFlush(t *testing.T) {
+	base := algebras.ShortestPaths{}
+	alg := pathalg.New[algebras.NatInf](base)
+	type R = pathalg.Route[algebras.NatInf]
+	baseAdj := matrix.NewAdjacency[algebras.NatInf](3)
+	link := func(a *matrix.Adjacency[algebras.NatInf], i, j int) {
+		a.SetEdge(i, j, base.AddEdge(1))
+		a.SetEdge(j, i, base.AddEdge(1))
+	}
+	link(baseAdj, 0, 1)
+	link(baseAdj, 1, 2)
+	adj := pathalg.LiftAdjacency(alg, baseAdj)
+
+	afterBase := baseAdj.Clone()
+	afterBase.RemoveEdge(1, 2)
+	afterBase.RemoveEdge(2, 1)
+	after := pathalg.LiftAdjacency(alg, afterBase)
+	want, _, _ := matrix.FixedPoint[R](alg, after, matrix.Identity[R](alg, 3), 100)
+
+	out := RunDynamic[R](alg, adj, matrix.Identity[R](alg, 3), Config{
+		Seed: 79,
+	}, nil, []Change[R]{
+		{Time: 150, Mutate: func(a *matrix.Adjacency[R]) {
+			a.RemoveEdge(1, 2)
+			a.RemoveEdge(2, 1)
+		}},
+	})
+	if !out.Converged {
+		t.Fatalf("did not converge: %s", out.Describe())
+	}
+	if !out.Final.Equal(alg, want) {
+		t.Fatal("stale routes not flushed after link removal")
+	}
+}

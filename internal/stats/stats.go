@@ -1,0 +1,143 @@
+// Package stats provides the small descriptive-statistics toolkit the
+// experiment harness uses to summarise convergence-time distributions:
+// means, percentiles and compact text histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample accumulates observations.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddInt appends an integer observation.
+func (s *Sample) AddInt(x int64) { s.Add(float64(x)) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+func (s *Sample) sortInPlace() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Min returns the smallest observation (0 for an empty sample).
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sortInPlace()
+	return s.xs[0]
+}
+
+// Max returns the largest observation (0 for an empty sample).
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sortInPlace()
+	return s.xs[len(s.xs)-1]
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by
+// nearest-rank.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sortInPlace()
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s.xs))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s.xs[rank-1]
+}
+
+// StdDev returns the population standard deviation.
+func (s *Sample) StdDev() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(s.xs)))
+}
+
+// Summary renders "n=… mean=… p50=… p95=… max=…".
+func (s *Sample) Summary() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%.0f p95=%.0f max=%.0f",
+		s.N(), s.Mean(), s.Percentile(50), s.Percentile(95), s.Max())
+}
+
+// Histogram renders a fixed-width text histogram with the given number of
+// equal buckets over [Min, Max].
+func (s *Sample) Histogram(buckets, width int) string {
+	if len(s.xs) == 0 || buckets < 1 {
+		return "(empty)"
+	}
+	s.sortInPlace()
+	lo, hi := s.xs[0], s.xs[len(s.xs)-1]
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]int, buckets)
+	for _, x := range s.xs {
+		b := int((x - lo) / (hi - lo) * float64(buckets))
+		if b >= buckets {
+			b = buckets - 1
+		}
+		counts[b]++
+	}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range counts {
+		bucketLo := lo + (hi-lo)*float64(i)/float64(buckets)
+		bars := 0
+		if maxC > 0 {
+			bars = c * width / maxC
+		}
+		fmt.Fprintf(&b, "%8.0f │%-*s %d\n", bucketLo, width, strings.Repeat("█", bars), c)
+	}
+	return b.String()
+}

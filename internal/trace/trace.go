@@ -1,0 +1,178 @@
+// Package trace records what happens inside a simulation run: route
+// changes, message fates and topology events, with renderers for
+// convergence timelines and per-link traffic summaries. It exists for
+// debugging experiments and for the -trace mode of cmd/dbfsim.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds.
+const (
+	RouteChanged Kind = iota
+	MessageSent
+	MessageDropped
+	MessageDelivered
+	NodeRestarted
+	TopologyChanged
+)
+
+// String renders the kind.
+func (k Kind) String() string {
+	switch k {
+	case RouteChanged:
+		return "route"
+	case MessageSent:
+		return "sent"
+	case MessageDropped:
+		return "dropped"
+	case MessageDelivered:
+		return "delivered"
+	case NodeRestarted:
+		return "restart"
+	case TopologyChanged:
+		return "topology"
+	default:
+		return "?"
+	}
+}
+
+// Event is one recorded occurrence. Route values are pre-rendered to
+// strings so the recorder stays independent of the route type.
+type Event struct {
+	Time int64
+	Kind Kind
+	// Node is the acting node (receiver for deliveries).
+	Node int
+	// Peer is the counterparty (destination of a route change, sender of
+	// a message), -1 when not applicable.
+	Peer int
+	// Detail carries the rendered old→new route or other annotations.
+	Detail string
+}
+
+// Recorder accumulates events. The zero value is ready to use.
+type Recorder struct {
+	Events []Event
+	// Cap bounds memory; once reached, only counters advance. 0 = 64k.
+	Cap    int
+	counts map[Kind]int
+}
+
+func (r *Recorder) record(e Event) {
+	if r.counts == nil {
+		r.counts = make(map[Kind]int)
+	}
+	r.counts[e.Kind]++
+	limit := r.Cap
+	if limit == 0 {
+		limit = 64 * 1024
+	}
+	if len(r.Events) < limit {
+		r.Events = append(r.Events, e)
+	}
+}
+
+// Route records a route change.
+func (r *Recorder) Route(time int64, node, dst int, oldRoute, newRoute string) {
+	r.record(Event{Time: time, Kind: RouteChanged, Node: node, Peer: dst,
+		Detail: oldRoute + " → " + newRoute})
+}
+
+// Message records a message fate.
+func (r *Recorder) Message(time int64, kind Kind, from, to int) {
+	r.record(Event{Time: time, Kind: kind, Node: to, Peer: from})
+}
+
+// Restart records a node restart.
+func (r *Recorder) Restart(time int64, node int) {
+	r.record(Event{Time: time, Kind: NodeRestarted, Node: node, Peer: -1})
+}
+
+// Topology records a topology change.
+func (r *Recorder) Topology(time int64) {
+	r.record(Event{Time: time, Kind: TopologyChanged, Node: -1, Peer: -1})
+}
+
+// Count returns how many events of the kind occurred (including any
+// beyond the storage cap).
+func (r *Recorder) Count(k Kind) int { return r.counts[k] }
+
+// LastChange returns the time of the final route change, or 0.
+func (r *Recorder) LastChange() int64 {
+	var last int64
+	for _, e := range r.Events {
+		if e.Kind == RouteChanged && e.Time > last {
+			last = e.Time
+		}
+	}
+	return last
+}
+
+// ChangesPerNode tallies route changes by acting node.
+func (r *Recorder) ChangesPerNode() map[int]int {
+	out := map[int]int{}
+	for _, e := range r.Events {
+		if e.Kind == RouteChanged {
+			out[e.Node]++
+		}
+	}
+	return out
+}
+
+// Timeline writes the first max route-change events as a readable log.
+func (r *Recorder) Timeline(w io.Writer, max int) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "t\tnode\tdest\tchange\n")
+	n := 0
+	for _, e := range r.Events {
+		if e.Kind != RouteChanged {
+			continue
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%s\n", e.Time, e.Node, e.Peer, e.Detail)
+		n++
+		if n >= max {
+			fmt.Fprintf(tw, "…\t\t\t(%d more)\n", r.Count(RouteChanged)-n)
+			break
+		}
+	}
+	tw.Flush()
+}
+
+// Summary writes aggregate counters and the busiest nodes.
+func (r *Recorder) Summary(w io.Writer) {
+	kinds := []Kind{RouteChanged, MessageSent, MessageDelivered, MessageDropped, NodeRestarted, TopologyChanged}
+	var parts []string
+	for _, k := range kinds {
+		if c := r.Count(k); c > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, c))
+		}
+	}
+	fmt.Fprintf(w, "events: %s\n", strings.Join(parts, " "))
+	per := r.ChangesPerNode()
+	type nc struct{ node, n int }
+	var ncs []nc
+	for node, n := range per {
+		ncs = append(ncs, nc{node, n})
+	}
+	sort.Slice(ncs, func(i, j int) bool {
+		if ncs[i].n != ncs[j].n {
+			return ncs[i].n > ncs[j].n
+		}
+		return ncs[i].node < ncs[j].node
+	})
+	for i, x := range ncs {
+		if i == 5 {
+			break
+		}
+		fmt.Fprintf(w, "  node %d changed routes %d times\n", x.node, x.n)
+	}
+}

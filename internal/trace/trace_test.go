@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRecorderCounts(t *testing.T) {
+	var r Recorder
+	r.Route(5, 1, 2, "∞", "3")
+	r.Route(9, 1, 3, "∞", "2")
+	r.Message(6, MessageSent, 0, 1)
+	r.Message(7, MessageDropped, 0, 1)
+	r.Message(8, MessageDelivered, 0, 1)
+	r.Restart(10, 2)
+	r.Topology(11)
+	if r.Count(RouteChanged) != 2 || r.Count(MessageSent) != 1 || r.Count(NodeRestarted) != 1 {
+		t.Errorf("counts wrong: %d %d %d", r.Count(RouteChanged), r.Count(MessageSent), r.Count(NodeRestarted))
+	}
+	if r.LastChange() != 9 {
+		t.Errorf("LastChange = %d", r.LastChange())
+	}
+	per := r.ChangesPerNode()
+	if per[1] != 2 {
+		t.Errorf("node 1 changes = %d", per[1])
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	r := Recorder{Cap: 3}
+	for i := 0; i < 10; i++ {
+		r.Route(int64(i), 0, 1, "a", "b")
+	}
+	if len(r.Events) != 3 {
+		t.Errorf("stored %d events, want 3", len(r.Events))
+	}
+	if r.Count(RouteChanged) != 10 {
+		t.Errorf("counter must keep going past the cap: %d", r.Count(RouteChanged))
+	}
+}
+
+func TestTimelineAndSummary(t *testing.T) {
+	var r Recorder
+	r.Route(5, 1, 2, "∞", "3")
+	r.Route(9, 0, 3, "4", "2")
+	r.Message(6, MessageSent, 0, 1)
+	var buf bytes.Buffer
+	r.Timeline(&buf, 10)
+	out := buf.String()
+	if !strings.Contains(out, "∞ → 3") || !strings.Contains(out, "4 → 2") {
+		t.Errorf("timeline missing changes:\n%s", out)
+	}
+	buf.Reset()
+	r.Summary(&buf)
+	if !strings.Contains(buf.String(), "route=2") {
+		t.Errorf("summary missing counters:\n%s", buf.String())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		RouteChanged: "route", MessageSent: "sent", MessageDropped: "dropped",
+		MessageDelivered: "delivered", NodeRestarted: "restart", TopologyChanged: "topology",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %s, want %s", k, k, want)
+		}
+	}
+}

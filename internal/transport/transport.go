@@ -1,0 +1,149 @@
+// Package transport carries encoded advertisements between routers of the
+// live engine. Two implementations are provided: an in-memory transport
+// with seeded fault injection (loss, duplication, reordering via random
+// per-message delay) and a TCP transport over net that exchanges
+// length-prefixed frames on the loopback interface.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Message is an encoded advertisement in flight from one node to another.
+type Message struct {
+	From    int
+	To      int
+	Payload []byte
+}
+
+// Transport delivers messages between nodes 0..N-1. Send is best-effort
+// and non-blocking: the model explicitly permits loss, so transports drop
+// rather than block when buffers fill. Recv returns the receive channel of
+// a node; the channel closes when the transport does.
+type Transport interface {
+	Send(msg Message) error
+	Recv(node int) <-chan Message
+	Close() error
+}
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("transport: closed")
+
+// Faults configures the in-memory transport's misbehaviour.
+type Faults struct {
+	// LossProb drops a message outright.
+	LossProb float64
+	// DupProb delivers a message twice.
+	DupProb float64
+	// MinDelay and MaxDelay bound the artificial delivery latency. With a
+	// wide interval, later messages routinely overtake earlier ones —
+	// reordering needs no extra mechanism.
+	MinDelay, MaxDelay time.Duration
+}
+
+// Memory is an in-process Transport with fault injection. The zero Faults
+// value gives loss-free, in-order-ish (but still concurrent) delivery.
+type Memory struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	faults Faults
+	chans  []chan Message
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewMemory builds an in-memory transport for n nodes; the seed drives all
+// fault randomness.
+func NewMemory(n int, seed int64, faults Faults) *Memory {
+	t := &Memory{
+		rng:    rand.New(rand.NewSource(seed)),
+		faults: faults,
+		chans:  make([]chan Message, n),
+	}
+	for i := range t.chans {
+		t.chans[i] = make(chan Message, 1024)
+	}
+	return t
+}
+
+// Send implements Transport with loss, duplication and random delay.
+func (t *Memory) Send(msg Message) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	if msg.To < 0 || msg.To >= len(t.chans) {
+		t.mu.Unlock()
+		return fmt.Errorf("transport: no such node %d", msg.To)
+	}
+	if t.rng.Float64() < t.faults.LossProb {
+		t.mu.Unlock()
+		return nil // dropped, silently — that is the contract
+	}
+	copies := 1
+	if t.rng.Float64() < t.faults.DupProb {
+		copies = 2
+	}
+	delays := make([]time.Duration, copies)
+	for c := range delays {
+		delays[c] = t.delayLocked()
+	}
+	t.wg.Add(copies)
+	t.mu.Unlock()
+
+	for _, d := range delays {
+		go func(d time.Duration) {
+			defer t.wg.Done()
+			if d > 0 {
+				time.Sleep(d)
+			}
+			t.mu.Lock()
+			closed := t.closed
+			ch := t.chans[msg.To]
+			t.mu.Unlock()
+			if closed {
+				return
+			}
+			select {
+			case ch <- msg:
+			default:
+				// Receiver buffer full: drop. Loss is permitted.
+			}
+		}(d)
+	}
+	return nil
+}
+
+func (t *Memory) delayLocked() time.Duration {
+	if t.faults.MaxDelay <= t.faults.MinDelay {
+		return t.faults.MinDelay
+	}
+	return t.faults.MinDelay + time.Duration(t.rng.Int63n(int64(t.faults.MaxDelay-t.faults.MinDelay)))
+}
+
+// Recv implements Transport.
+func (t *Memory) Recv(node int) <-chan Message { return t.chans[node] }
+
+// Close implements Transport; it waits for in-flight deliveries to finish
+// and closes every receive channel.
+func (t *Memory) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	t.wg.Wait()
+	t.mu.Lock()
+	for _, ch := range t.chans {
+		close(ch)
+	}
+	t.mu.Unlock()
+	return nil
+}

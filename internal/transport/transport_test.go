@@ -1,0 +1,171 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func collect(ch <-chan Message, n int, timeout time.Duration) []Message {
+	var out []Message
+	deadline := time.After(timeout)
+	for len(out) < n {
+		select {
+		case m, ok := <-ch:
+			if !ok {
+				return out
+			}
+			out = append(out, m)
+		case <-deadline:
+			return out
+		}
+	}
+	return out
+}
+
+func TestMemoryDelivery(t *testing.T) {
+	tr := NewMemory(3, 1, Faults{})
+	defer tr.Close()
+	for i := 0; i < 5; i++ {
+		if err := tr.Send(Message{From: 0, To: 1, Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(tr.Recv(1), 5, time.Second)
+	if len(got) != 5 {
+		t.Fatalf("delivered %d of 5", len(got))
+	}
+	for _, m := range got {
+		if m.From != 0 || m.To != 1 {
+			t.Errorf("misrouted message %+v", m)
+		}
+	}
+}
+
+func TestMemoryLoss(t *testing.T) {
+	tr := NewMemory(2, 2, Faults{LossProb: 1})
+	defer tr.Close()
+	for i := 0; i < 10; i++ {
+		_ = tr.Send(Message{From: 0, To: 1, Payload: nil})
+	}
+	if got := collect(tr.Recv(1), 1, 100*time.Millisecond); len(got) != 0 {
+		t.Errorf("lossProb=1 delivered %d messages", len(got))
+	}
+}
+
+func TestMemoryDuplication(t *testing.T) {
+	tr := NewMemory(2, 3, Faults{DupProb: 1})
+	defer tr.Close()
+	for i := 0; i < 5; i++ {
+		_ = tr.Send(Message{From: 0, To: 1, Payload: []byte{byte(i)}})
+	}
+	got := collect(tr.Recv(1), 10, time.Second)
+	if len(got) != 10 {
+		t.Errorf("dupProb=1 delivered %d, want 10", len(got))
+	}
+}
+
+func TestMemoryReordering(t *testing.T) {
+	tr := NewMemory(2, 4, Faults{MinDelay: 0, MaxDelay: 30 * time.Millisecond})
+	defer tr.Close()
+	const n = 40
+	for i := 0; i < n; i++ {
+		_ = tr.Send(Message{From: 0, To: 1, Payload: []byte{byte(i)}})
+	}
+	got := collect(tr.Recv(1), n, 2*time.Second)
+	if len(got) != n {
+		t.Fatalf("delivered %d of %d", len(got), n)
+	}
+	inOrder := true
+	for i := 1; i < len(got); i++ {
+		if got[i].Payload[0] < got[i-1].Payload[0] {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Error("wide delay window should have reordered something")
+	}
+}
+
+func TestMemorySendAfterClose(t *testing.T) {
+	tr := NewMemory(2, 5, Faults{})
+	tr.Close()
+	if err := tr.Send(Message{From: 0, To: 1}); err != ErrClosed {
+		t.Errorf("Send after close: %v, want ErrClosed", err)
+	}
+	// Recv channels must be closed.
+	if _, ok := <-tr.Recv(0); ok {
+		t.Error("recv channel should be closed")
+	}
+	// Double close is fine.
+	if err := tr.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryInvalidDestination(t *testing.T) {
+	tr := NewMemory(2, 6, Faults{})
+	defer tr.Close()
+	if err := tr.Send(Message{From: 0, To: 7}); err == nil {
+		t.Error("sending to an unknown node must error")
+	}
+}
+
+func TestTCPDelivery(t *testing.T) {
+	tr, err := NewTCP(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	payload := []byte("hello routing")
+	for i := 0; i < 3; i++ {
+		if err := tr.Send(Message{From: 2, To: 0, Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(tr.Recv(0), 3, 2*time.Second)
+	if len(got) != 3 {
+		t.Fatalf("TCP delivered %d of 3", len(got))
+	}
+	for _, m := range got {
+		if m.From != 2 || string(m.Payload) != string(payload) {
+			t.Errorf("frame mangled: %+v", m)
+		}
+	}
+}
+
+func TestTCPBidirectional(t *testing.T) {
+	tr, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	_ = tr.Send(Message{From: 0, To: 1, Payload: []byte{1}})
+	_ = tr.Send(Message{From: 1, To: 0, Payload: []byte{2}})
+	a := collect(tr.Recv(1), 1, time.Second)
+	b := collect(tr.Recv(0), 1, time.Second)
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("bidirectional delivery failed: %d, %d", len(a), len(b))
+	}
+}
+
+func TestTCPSendAfterClose(t *testing.T) {
+	tr, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+	if err := tr.Send(Message{From: 0, To: 1}); err != ErrClosed {
+		t.Errorf("Send after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestTCPAddr(t *testing.T) {
+	tr, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if tr.Addr(0).String() == tr.Addr(1).String() {
+		t.Error("nodes must listen on distinct addresses")
+	}
+}

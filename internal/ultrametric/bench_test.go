@@ -1,0 +1,77 @@
+package ultrametric
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebras"
+	"repro/internal/matrix"
+	"repro/internal/pathalg"
+	"repro/internal/paths"
+)
+
+func BenchmarkHeightsOf(b *testing.B) {
+	alg := algebras.HopCount{Limit: 63}
+	h := NewHeights[algebras.NatInf](alg, alg.Universe())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Of(algebras.NatInf(i % 63))
+	}
+}
+
+func BenchmarkDVDistance(b *testing.B) {
+	alg := algebras.HopCount{Limit: 63}
+	m := NewDV[algebras.NatInf](alg, alg.Universe())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Distance(algebras.NatInf(i%60), algebras.NatInf((i+7)%60))
+	}
+}
+
+func BenchmarkStateDistance(b *testing.B) {
+	alg := algebras.HopCount{Limit: 15}
+	m := NewDV[algebras.NatInf](alg, alg.Universe())
+	rng := rand.New(rand.NewSource(1))
+	x := matrix.RandomStateFrom(rng, 12, alg.Universe())
+	y := matrix.RandomStateFrom(rng, 12, alg.Universe())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = StateDistance[algebras.NatInf](m, x, y)
+	}
+}
+
+func BenchmarkNewPV(b *testing.B) {
+	// The expensive S_c enumeration (exponential in n — here n=5).
+	base := algebras.ShortestPaths{}
+	alg := pathalg.New[algebras.NatInf](base)
+	baseAdj := matrix.NewAdjacency[algebras.NatInf](5)
+	for i := 0; i < 5; i++ {
+		j := (i + 1) % 5
+		baseAdj.SetEdge(i, j, base.AddEdge(1))
+		baseAdj.SetEdge(j, i, base.AddEdge(1))
+	}
+	adj := pathalg.LiftAdjacency(alg, baseAdj)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewPV[pathalg.Route[algebras.NatInf]](alg, adj)
+	}
+}
+
+func BenchmarkPVDistance(b *testing.B) {
+	base := algebras.ShortestPaths{}
+	alg := pathalg.New[algebras.NatInf](base)
+	baseAdj := matrix.NewAdjacency[algebras.NatInf](4)
+	for i := 0; i < 4; i++ {
+		j := (i + 1) % 4
+		baseAdj.SetEdge(i, j, base.AddEdge(1))
+		baseAdj.SetEdge(j, i, base.AddEdge(1))
+	}
+	adj := pathalg.LiftAdjacency(alg, baseAdj)
+	m := NewPV[pathalg.Route[algebras.NatInf]](alg, adj)
+	x := m.Alg.Trivial()
+	y := pathalg.Weight[pathalg.Route[algebras.NatInf]](alg, adj, paths.FromNodes(2, 1, 0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Distance(x, y)
+	}
+}

@@ -1,0 +1,217 @@
+// Package ultrametric implements the distance constructions at the heart
+// of the paper's convergence proofs (Figure 2):
+//
+//   - for distance-vector protocols with a finite route set (Section 4.1),
+//     the height h(x) = |{y ∈ S | x ≤ y}| and the route ultrametric
+//     d(x,y) = 0 if x = y, max(h(x), h(y)) otherwise;
+//
+//   - for path-vector protocols (Section 5.2), the consistent-route metric
+//     d_c (the Section 4.1 metric over the finite set S_c), the
+//     inconsistent height h_i and quasi-distance d_i, and their combination
+//     d, which places all inconsistent disagreements above all consistent
+//     ones;
+//
+//   - the lift D(X,Y) = max_ij d(X_ij, Y_ij) to routing states (Lemma 3);
+//
+//   - verifiers for the ultrametric axioms M1–M3 (Definition 9),
+//     boundedness (Definition 13), strict contraction on orbits
+//     (Definition 11) and strict contraction on the fixed point
+//     (Definition 12) — the exact hypotheses of Theorem 4.
+package ultrametric
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/pathalg"
+)
+
+// RouteMetric is a distance function over routes together with its
+// claimed upper bound d_max.
+type RouteMetric[R any] interface {
+	// Distance is d(x, y) ∈ ℕ.
+	Distance(x, y R) int
+	// Bound is d_max with d(x,y) ≤ d_max for all x, y (Definition 13).
+	Bound() int
+}
+
+// Heights assigns every route of a finite carrier its height
+// h(x) = |{y | x ≤ y}|: the number of routes that are no better than x.
+// The trivial route has the maximum height H = |S| and the invalid route
+// has height 1.
+type Heights[R any] struct {
+	alg core.Algebra[R]
+	// sorted is the universe in preference order (best first, i.e.
+	// ascending ≤), deduplicated.
+	sorted []R
+}
+
+// NewHeights computes heights over the given finite universe, which must
+// contain the trivial and invalid routes and is deduplicated here.
+func NewHeights[R any](alg core.Algebra[R], universe []R) *Heights[R] {
+	dedup := make([]R, 0, len(universe)+2)
+	add := func(r R) {
+		for _, s := range dedup {
+			if alg.Equal(s, r) {
+				return
+			}
+		}
+		dedup = append(dedup, r)
+	}
+	add(alg.Trivial())
+	add(alg.Invalid())
+	for _, r := range universe {
+		add(r)
+	}
+	sort.SliceStable(dedup, func(i, j int) bool {
+		return core.Less(alg, dedup[i], dedup[j])
+	})
+	return &Heights[R]{alg: alg, sorted: dedup}
+}
+
+// Size returns |S|, which equals H = h(0).
+func (h *Heights[R]) Size() int { return len(h.sorted) }
+
+// Of returns h(x). Routes outside the universe panic: heights are only
+// defined for members of the finite carrier.
+func (h *Heights[R]) Of(x R) int {
+	for i, r := range h.sorted {
+		if h.alg.Equal(r, x) {
+			return len(h.sorted) - i
+		}
+	}
+	panic(fmt.Sprintf("ultrametric: route %s not in the finite universe", h.alg.Format(x)))
+}
+
+// Contains reports whether x belongs to the universe the heights were
+// computed over.
+func (h *Heights[R]) Contains(x R) bool {
+	for _, r := range h.sorted {
+		if h.alg.Equal(r, x) {
+			return true
+		}
+	}
+	return false
+}
+
+// DV is the Section 4.1 route ultrametric for finite distance-vector
+// algebras.
+type DV[R any] struct {
+	H *Heights[R]
+}
+
+// NewDV builds the distance-vector metric over the algebra's universe.
+func NewDV[R any](alg core.Algebra[R], universe []R) DV[R] {
+	return DV[R]{H: NewHeights(alg, universe)}
+}
+
+// Distance implements d(x,y) = 0 if x = y, else max(h(x), h(y)).
+func (m DV[R]) Distance(x, y R) int {
+	if m.H.alg.Equal(x, y) {
+		return 0
+	}
+	hx, hy := m.H.Of(x), m.H.Of(y)
+	if hx > hy {
+		return hx
+	}
+	return hy
+}
+
+// Bound implements d_max = H.
+func (m DV[R]) Bound() int { return m.H.Size() }
+
+// PV is the Section 5.2 route distance for path-vector algebras: d_c over
+// consistent routes, H_c + d_i when either route is inconsistent.
+type PV[R any] struct {
+	Alg pathalg.PathAlgebra[R]
+	Adj *matrix.Adjacency[R]
+	// Hc holds heights over the finite consistent set S_c.
+	Hc *Heights[R]
+	// N is the number of nodes; the maximum inconsistent height is N+1.
+	N int
+}
+
+// NewPV builds the path-vector metric for the given topology, enumerating
+// S_c (every simple-path weight towards every destination).
+func NewPV[R any](alg pathalg.PathAlgebra[R], adj *matrix.Adjacency[R]) PV[R] {
+	var sc []R
+	for dst := 0; dst < adj.N; dst++ {
+		sc = append(sc, pathalg.ConsistentRoutes[R](alg, adj, dst)...)
+	}
+	return PV[R]{Alg: alg, Adj: adj, Hc: NewHeights[R](alg, sc), N: adj.N}
+}
+
+// Consistent reports whether x is a consistent route for the metric's
+// topology.
+func (m PV[R]) Consistent(x R) bool {
+	return pathalg.Consistent(m.Alg, m.Adj, x)
+}
+
+// HeightI implements the inconsistent height h_i: 1 for consistent routes,
+// (n+1) − length(path(x)) otherwise.
+func (m PV[R]) HeightI(x R) int {
+	if m.Consistent(x) {
+		return 1
+	}
+	return (m.N + 1) - m.Alg.Path(x).Len()
+}
+
+// DistanceI implements d_i(x,y) = max(h_i(x), h_i(y)), the quasi-distance
+// that strictly decreases as inconsistent routes are flushed.
+func (m PV[R]) DistanceI(x, y R) int {
+	hx, hy := m.HeightI(x), m.HeightI(y)
+	if hx > hy {
+		return hx
+	}
+	return hy
+}
+
+// DistanceC implements d_c: the finite-carrier metric over S_c. Both
+// arguments must be consistent.
+func (m PV[R]) DistanceC(x, y R) int {
+	if m.Alg.Equal(x, y) {
+		return 0
+	}
+	hx, hy := m.Hc.Of(x), m.Hc.Of(y)
+	if hx > hy {
+		return hx
+	}
+	return hy
+}
+
+// Distance implements the combined d of Section 5.2:
+//
+//	d(x,y) = 0                 if x = y
+//	       = d_c(x,y)          if x ≠ y and both consistent
+//	       = H_c + d_i(x,y)    otherwise
+func (m PV[R]) Distance(x, y R) int {
+	if m.Alg.Equal(x, y) {
+		return 0
+	}
+	if m.Consistent(x) && m.Consistent(y) {
+		return m.DistanceC(x, y)
+	}
+	return m.Hc.Size() + m.DistanceI(x, y)
+}
+
+// Bound implements d_max = H_c + (n + 1).
+func (m PV[R]) Bound() int { return m.Hc.Size() + m.N + 1 }
+
+// StateDistance lifts a route metric to routing states per Lemma 3:
+// D(X,Y) = max_ij d(X_ij, Y_ij).
+func StateDistance[R any](m RouteMetric[R], x, y *matrix.State[R]) int {
+	if x.N != y.N {
+		panic("ultrametric: StateDistance over different-sized states")
+	}
+	max := 0
+	for i := 0; i < x.N; i++ {
+		for j := 0; j < x.N; j++ {
+			if d := m.Distance(x.Get(i, j), y.Get(i, j)); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}

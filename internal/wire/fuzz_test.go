@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/algebras"
+	"repro/internal/paths"
+	"repro/internal/policy"
+)
+
+// FuzzDecodeAdvert feeds arbitrary bytes through the frame decoder; any
+// panic or over-allocation is a bug (routers must survive hostile peers).
+func FuzzDecodeAdvert(f *testing.F) {
+	f.Add(EncodeAdvert(Advert{From: 1, Seq: 2, Rows: [][]byte{{1, 2}, {}}}))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 9, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		adv, err := DecodeAdvert(data)
+		if err != nil {
+			return
+		}
+		// A decoded advert must re-encode and decode to the same value.
+		again, err := DecodeAdvert(EncodeAdvert(adv))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.From != adv.From || again.Seq != adv.Seq || len(again.Rows) != len(adv.Rows) {
+			t.Fatal("advert round trip mismatch")
+		}
+	})
+}
+
+// FuzzDecodePolicyRoute checks the policy route codec against arbitrary
+// input: no panics, and anything that decodes must round-trip.
+func FuzzDecodePolicyRoute(f *testing.F) {
+	c := PolicyCodec{}
+	seed, _ := c.Encode(policy.Valid(3, policy.NewCommunitySet(1), paths.FromNodes(2, 0)))
+	f.Add(seed)
+	f.Add([]byte{0xFF})
+	f.Add([]byte{0x00, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := c.Decode(data)
+		if err != nil {
+			return
+		}
+		enc, err := c.Encode(r)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		r2, err := c.Decode(enc)
+		if err != nil || r2.Compare(r) != 0 {
+			t.Fatalf("policy route round trip mismatch: %s vs %s (%v)", r, r2, err)
+		}
+	})
+}
+
+// FuzzDecodeTracked checks the tracked-route codec likewise.
+func FuzzDecodeTracked(f *testing.F) {
+	c := TrackedCodec[algebras.NatInf]{Base: NatInfCodec{}}
+	f.Add(EncodePath(paths.FromNodes(1, 0)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := c.Decode(data)
+		if err != nil {
+			return
+		}
+		enc, err := c.Encode(r)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := c.Decode(enc); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

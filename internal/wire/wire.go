@@ -1,0 +1,321 @@
+// Package wire defines the advertisement message exchanged by the live
+// protocol engine and binary codecs for every route type in the
+// repository. Frames are length-prefixed and self-describing enough to
+// cross a TCP connection; the format is deliberately simple (this is a
+// clean-slate protocol, not RFC 4271 BGP).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/algebras"
+	"repro/internal/gadgets"
+	"repro/internal/gaorexford"
+	"repro/internal/pathalg"
+	"repro/internal/paths"
+	"repro/internal/policy"
+)
+
+// Codec serialises routes of type R.
+type Codec[R any] interface {
+	Encode(r R) ([]byte, error)
+	Decode(b []byte) (R, error)
+}
+
+// Advert is one full-table advertisement: the sender's current route to
+// every destination, already encoded.
+type Advert struct {
+	From int
+	Seq  uint64
+	Rows [][]byte
+}
+
+// ErrTruncated reports a frame shorter than its own length fields claim.
+var ErrTruncated = errors.New("wire: truncated frame")
+
+// maxFrame bounds decoded allocations against corrupt length fields.
+const maxFrame = 16 << 20
+
+// EncodeAdvert renders an advert as a single frame:
+//
+//	u32 from | u64 seq | u32 nrows | nrows × (u32 len | bytes)
+func EncodeAdvert(a Advert) []byte {
+	size := 4 + 8 + 4
+	for _, r := range a.Rows {
+		size += 4 + len(r)
+	}
+	out := make([]byte, 0, size)
+	out = binary.BigEndian.AppendUint32(out, uint32(a.From))
+	out = binary.BigEndian.AppendUint64(out, a.Seq)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(a.Rows)))
+	for _, r := range a.Rows {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(r)))
+		out = append(out, r...)
+	}
+	return out
+}
+
+// DecodeAdvert parses a frame produced by EncodeAdvert.
+func DecodeAdvert(b []byte) (Advert, error) {
+	var a Advert
+	if len(b) < 16 {
+		return a, ErrTruncated
+	}
+	a.From = int(binary.BigEndian.Uint32(b[0:4]))
+	a.Seq = binary.BigEndian.Uint64(b[4:12])
+	n := binary.BigEndian.Uint32(b[12:16])
+	if n > maxFrame/4 {
+		return a, fmt.Errorf("wire: implausible row count %d", n)
+	}
+	b = b[16:]
+	a.Rows = make([][]byte, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(b) < 4 {
+			return a, ErrTruncated
+		}
+		l := binary.BigEndian.Uint32(b[:4])
+		b = b[4:]
+		if uint32(len(b)) < l {
+			return a, ErrTruncated
+		}
+		row := make([]byte, l)
+		copy(row, b[:l])
+		a.Rows = append(a.Rows, row)
+		b = b[l:]
+	}
+	return a, nil
+}
+
+// EncodeRow encodes every route of a table row with the codec.
+func EncodeRow[R any](c Codec[R], row []R) ([][]byte, error) {
+	out := make([][]byte, len(row))
+	for i, r := range row {
+		b, err := c.Encode(r)
+		if err != nil {
+			return nil, fmt.Errorf("wire: encoding route %d: %w", i, err)
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// DecodeRow decodes an advertised row back into routes.
+func DecodeRow[R any](c Codec[R], rows [][]byte) ([]R, error) {
+	out := make([]R, len(rows))
+	for i, b := range rows {
+		r, err := c.Decode(b)
+		if err != nil {
+			return nil, fmt.Errorf("wire: decoding route %d: %w", i, err)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// NatInfCodec serialises ℕ∞ routes as big-endian u64 with all-ones for ∞.
+type NatInfCodec struct{}
+
+// Encode implements Codec.
+func (NatInfCodec) Encode(r algebras.NatInf) ([]byte, error) {
+	return binary.BigEndian.AppendUint64(nil, uint64(r)), nil
+}
+
+// Decode implements Codec.
+func (NatInfCodec) Decode(b []byte) (algebras.NatInf, error) {
+	if len(b) != 8 {
+		return 0, ErrTruncated
+	}
+	return algebras.NatInf(binary.BigEndian.Uint64(b)), nil
+}
+
+// Float64Codec serialises float64 routes (most-reliable paths) by IEEE 754
+// bits.
+type Float64Codec struct{}
+
+// Encode implements Codec.
+func (Float64Codec) Encode(r float64) ([]byte, error) {
+	return binary.BigEndian.AppendUint64(nil, math.Float64bits(r)), nil
+}
+
+// Decode implements Codec.
+func (Float64Codec) Decode(b []byte) (float64, error) {
+	if len(b) != 8 {
+		return 0, ErrTruncated
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b)), nil
+}
+
+// EncodePath serialises a simple path: 0xFF for ⊥, else u16 arc count and
+// u16 node pairs.
+func EncodePath(p paths.Path) []byte {
+	if p.IsInvalid() {
+		return []byte{0xFF}
+	}
+	arcs := p.Arcs()
+	out := make([]byte, 0, 3+4*len(arcs))
+	out = append(out, 0x00)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(arcs)))
+	for _, a := range arcs {
+		out = binary.BigEndian.AppendUint16(out, uint16(a.From))
+		out = binary.BigEndian.AppendUint16(out, uint16(a.To))
+	}
+	return out
+}
+
+// DecodePath parses EncodePath output and returns the remaining bytes.
+func DecodePath(b []byte) (paths.Path, []byte, error) {
+	if len(b) < 1 {
+		return paths.Invalid, nil, ErrTruncated
+	}
+	if b[0] == 0xFF {
+		return paths.Invalid, b[1:], nil
+	}
+	if len(b) < 3 {
+		return paths.Invalid, nil, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(b[1:3]))
+	b = b[3:]
+	if len(b) < 4*n {
+		return paths.Invalid, nil, ErrTruncated
+	}
+	arcs := make([]paths.Arc, n)
+	for i := 0; i < n; i++ {
+		arcs[i] = paths.Arc{
+			From: int(binary.BigEndian.Uint16(b[4*i : 4*i+2])),
+			To:   int(binary.BigEndian.Uint16(b[4*i+2 : 4*i+4])),
+		}
+	}
+	p := paths.FromArcs(arcs...)
+	if p.IsInvalid() && n > 0 {
+		return paths.Invalid, nil, fmt.Errorf("wire: arc sequence does not form a simple path")
+	}
+	return p, b[4*n:], nil
+}
+
+// PolicyCodec serialises Section 7 routes.
+type PolicyCodec struct{}
+
+// Encode implements Codec: flag byte, lpref u32, communities u64, pad
+// byte, path.
+func (PolicyCodec) Encode(r policy.Route) ([]byte, error) {
+	if r.IsInvalid() {
+		return []byte{0xFF}, nil
+	}
+	out := make([]byte, 0, 17)
+	out = append(out, 0x00)
+	out = binary.BigEndian.AppendUint32(out, r.LPref)
+	out = binary.BigEndian.AppendUint64(out, uint64(r.Comms))
+	out = append(out, r.Pad)
+	return append(out, EncodePath(r.Path)...), nil
+}
+
+// Decode implements Codec.
+func (PolicyCodec) Decode(b []byte) (policy.Route, error) {
+	if len(b) < 1 {
+		return policy.InvalidRoute, ErrTruncated
+	}
+	if b[0] == 0xFF {
+		return policy.InvalidRoute, nil
+	}
+	if len(b) < 14 {
+		return policy.InvalidRoute, ErrTruncated
+	}
+	lpref := binary.BigEndian.Uint32(b[1:5])
+	comms := policy.CommunitySet(binary.BigEndian.Uint64(b[5:13]))
+	pad := b[13]
+	p, rest, err := DecodePath(b[14:])
+	if err != nil {
+		return policy.InvalidRoute, err
+	}
+	if len(rest) != 0 {
+		return policy.InvalidRoute, fmt.Errorf("wire: %d trailing bytes after policy route", len(rest))
+	}
+	out := policy.Valid(lpref, comms, p)
+	out.Pad = pad
+	return out, nil
+}
+
+// GaoRexfordCodec serialises Gao–Rexford routes.
+type GaoRexfordCodec struct{}
+
+// Encode implements Codec: class byte then hops u32.
+func (GaoRexfordCodec) Encode(r gaorexford.Route) ([]byte, error) {
+	out := []byte{byte(r.Class)}
+	return binary.BigEndian.AppendUint32(out, r.Hops), nil
+}
+
+// Decode implements Codec.
+func (GaoRexfordCodec) Decode(b []byte) (gaorexford.Route, error) {
+	if len(b) != 5 {
+		return gaorexford.Invalid, ErrTruncated
+	}
+	return gaorexford.Route{Class: gaorexford.Class(b[0]), Hops: binary.BigEndian.Uint32(b[1:5])}, nil
+}
+
+// TrackedCodec serialises pathalg.Route[B] given a codec for the base
+// route.
+type TrackedCodec[B any] struct {
+	Base Codec[B]
+}
+
+// Encode implements Codec: path first, then u32 base length, then base.
+func (c TrackedCodec[B]) Encode(r pathalg.Route[B]) ([]byte, error) {
+	base, err := c.Base.Encode(r.Base)
+	if err != nil {
+		return nil, err
+	}
+	out := EncodePath(r.Path)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(base)))
+	return append(out, base...), nil
+}
+
+// Decode implements Codec.
+func (c TrackedCodec[B]) Decode(b []byte) (pathalg.Route[B], error) {
+	var out pathalg.Route[B]
+	p, rest, err := DecodePath(b)
+	if err != nil {
+		return out, err
+	}
+	if len(rest) < 4 {
+		return out, ErrTruncated
+	}
+	l := binary.BigEndian.Uint32(rest[:4])
+	rest = rest[4:]
+	if uint32(len(rest)) != l {
+		return out, ErrTruncated
+	}
+	base, err := c.Base.Decode(rest)
+	if err != nil {
+		return out, err
+	}
+	return pathalg.Route[B]{Base: base, Path: p}, nil
+}
+
+// SPPCodec serialises the stable-paths-problem routes of the gadget
+// instances: rank u32 then path.
+type SPPCodec struct{}
+
+// Encode implements Codec.
+func (SPPCodec) Encode(r gadgets.Route) ([]byte, error) {
+	out := binary.BigEndian.AppendUint32(nil, r.Rank)
+	return append(out, EncodePath(r.Path)...), nil
+}
+
+// Decode implements Codec.
+func (SPPCodec) Decode(b []byte) (gadgets.Route, error) {
+	if len(b) < 4 {
+		return gadgets.Route{}, ErrTruncated
+	}
+	rank := binary.BigEndian.Uint32(b[:4])
+	p, rest, err := DecodePath(b[4:])
+	if err != nil {
+		return gadgets.Route{}, err
+	}
+	if len(rest) != 0 {
+		return gadgets.Route{}, fmt.Errorf("wire: %d trailing bytes after SPP route", len(rest))
+	}
+	return gadgets.Route{Rank: rank, Path: p}, nil
+}
