@@ -5,10 +5,13 @@
 //
 //	dbfsim -algebra rip -topo ring -n 6 -seed 1 -loss 0.2 -dup 0.1
 //	dbfsim -algebra policy -policy 'addc(3); if (comm(3)) { lp+=2 }'
+//	dbfsim -algebra gr -topo fattree -n 4 -mode delta -steps 2000
 //
 // Algebras: shortest, rip, widest, pv (path-tracked shortest), gr
 // (Gao–Rexford tiers), policy (the Section 7 language; see -policy).
 // Topologies: line, ring, grid, clique, star, random, fattree.
+// Modes: sim (the event-driven message-passing simulator) and delta (the
+// sharded, memory-bounded δ engine over a random (α, β) schedule).
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 
 	"repro/internal/algebras"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gaorexford"
 	"repro/internal/matrix"
 	"repro/internal/pathalg"
@@ -41,8 +45,25 @@ func main() {
 		polSrc  = flag.String("policy", "lp+=1",
 			"policy program applied on every edge when -algebra policy (Section 7 syntax)")
 		showTrace = flag.Bool("trace", false, "print the route-change timeline after the run")
+		modeFlag  = flag.String("mode", "sim", "evaluation substrate: sim (event simulator) | delta (schedule-driven engine)")
+		stepsFlag = flag.Int("steps", 0, "delta mode: schedule horizon T (default 50·n)")
 	)
 	flag.Parse()
+
+	mode = *modeFlag
+	deltaSteps = *stepsFlag
+	if mode != "sim" && mode != "delta" {
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", mode)
+		os.Exit(2)
+	}
+	if mode == "delta" {
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "loss", "dup", "delay":
+				fmt.Fprintf(os.Stderr, "(-%s models message faults and applies to -mode sim only; ignoring)\n", f.Name)
+			}
+		})
+	}
 
 	g := buildGraph(*topo, *n, *seed)
 	cfg := simulate.Config{Seed: *seed, LossProb: *loss, DupProb: *dup, MaxDelay: *delay}
@@ -72,8 +93,7 @@ func main() {
 		adj := pathalg.LiftAdjacency(alg, baseAdj)
 		type R = pathalg.Route[algebras.NatInf]
 		start := matrix.Identity[R](alg, g.N)
-		out := simulate.RunTraced[R](alg, adj, start, cfg, nil, nil, recorder)
-		report[R](alg, adj, out)
+		run[R](alg, adj, start, cfg, *seed)
 	case "gr":
 		alg := gaorexford.Algebra{MaxHops: 16}
 		rng := rand.New(rand.NewSource(*seed))
@@ -92,8 +112,7 @@ func main() {
 		})
 		_ = rng
 		start := matrix.Identity[gaorexford.Route](alg, g.N)
-		out := simulate.RunTraced[gaorexford.Route](alg, adj, start, cfg, nil, nil, recorder)
-		report[gaorexford.Route](alg, adj, out)
+		run[gaorexford.Route](alg, adj, start, cfg, *seed)
 	case "policy":
 		pol, err := policy.ParsePolicy(*polSrc)
 		if err != nil {
@@ -112,8 +131,7 @@ func main() {
 				return policy.RandomRoute(rng, g.N)
 			})
 		}
-		out := simulate.RunTraced[policy.Route](alg, adj, start, cfg, nil, nil, recorder)
-		report[policy.Route](alg, adj, out)
+		run[policy.Route](alg, adj, start, cfg, *seed)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown algebra %q\n", *algebra)
 		os.Exit(2)
@@ -122,6 +140,12 @@ func main() {
 
 // recorder, when non-nil, captures the run's event timeline for -trace.
 var recorder *trace.Recorder
+
+// mode selects the evaluation substrate; deltaSteps is -steps.
+var (
+	mode       string
+	deltaSteps int
+)
 
 func buildGraph(topo string, n int, seed int64) topology.Graph {
 	switch topo {
@@ -157,17 +181,56 @@ func runNat[A core.Algebra[algebras.NatInf]](alg A, adj *matrix.Adjacency[algebr
 	if garbage {
 		start = matrix.RandomStateFrom(rand.New(rand.NewSource(seed)), adj.N, universe)
 	}
-	out := simulate.RunTraced[algebras.NatInf](alg, adj, start, cfg, nil, nil, recorder)
-	report[algebras.NatInf](alg, adj, out)
+	run[algebras.NatInf](alg, adj, start, cfg, seed)
 }
 
-func report[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], out simulate.Outcome[R]) {
-	fmt.Println(out.Describe())
-	stable := matrix.IsStable[R](alg, adj, out.Final)
+// run dispatches one configured instance to the selected substrate.
+func run[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], start *matrix.State[R],
+	cfg simulate.Config, seed int64) {
+	switch mode {
+	case "delta":
+		runDelta[R](alg, adj, start, seed)
+	default:
+		out := simulate.RunTraced[R](alg, adj, start, cfg, nil, nil, recorder)
+		fmt.Println(out.Describe())
+		report[R](alg, adj, out.Final)
+		if !out.Converged {
+			os.Exit(1)
+		}
+	}
+}
+
+// runDelta evaluates δ over a lazy pseudo-random bounded-staleness
+// schedule (O(1) schedule memory at any n and T) with the sharded engine
+// and reports whether the horizon reached the σ fixed point.
+func runDelta[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], start *matrix.State[R], seed int64) {
+	if recorder != nil {
+		fmt.Fprintln(os.Stderr, "(-trace records message events and applies to -mode sim only; ignoring)")
+		recorder = nil
+	}
+	n := adj.N
+	T := deltaSteps
+	if T <= 0 {
+		T = 50 * n
+	}
+	src := engine.Hashed{N: n, T: T, Seed: uint64(seed), MaxStaleness: 8}
+	res := engine.Run[R](alg, adj, start, src)
+	st := res.Stats()
+	fmt.Printf("δ engine: T=%d, rows computed=%d, row buffers recycled=%d, states retained=%d\n",
+		st.Steps, st.RowsComputed, st.RowsRecycled, st.Retained)
+	if stable := report[R](alg, adj, res.Final()); !stable {
+		os.Exit(1)
+	}
+}
+
+// report prints the outcome and returns whether the final state is a
+// fixed point of σ.
+func report[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], final *matrix.State[R]) bool {
+	stable := matrix.IsStable[R](alg, adj, final)
 	fmt.Printf("final state σ-stable: %v\n", stable)
 	if adj.N <= 12 {
 		fmt.Println("routing tables (row i = node i's best route to each destination):")
-		fmt.Print(out.Final.Format(alg))
+		fmt.Print(final.Format(alg))
 	} else {
 		fmt.Printf("(%d nodes; tables suppressed, rerun with -n ≤ 12 to print them)\n", adj.N)
 	}
@@ -176,7 +239,5 @@ func report[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], out simulate.O
 		recorder.Timeline(os.Stdout, 40)
 		recorder.Summary(os.Stdout)
 	}
-	if !out.Converged {
-		os.Exit(1)
-	}
+	return stable
 }

@@ -1,26 +1,45 @@
 // Package async implements δ, the asynchronous counterpart of σ defined in
-// Section 3.1 of the paper, by literal evaluation over an explicit
-// schedule:
+// Section 3.1 of the paper, by evaluation over an explicit schedule:
 //
 //	δ⁰(X)_ij = X_ij
 //	δᵗ(X)_ij = ⨁_k A_ik(δ^{β(t,i,k)}(X)_kj) ⊕ I_ij   if i ∈ α(t)
 //	         = δ^{t−1}(X)_ij                          otherwise
 //
-// The evaluator keeps the whole state history, so β may point anywhere in
-// the past — including times already read (duplication), out of order
-// (reordering) or never (loss). It also implements the convergence
-// definitions 6–8 as executable checks.
+// β may point anywhere into the retained past — including times already
+// read (duplication), out of order (reordering) or never (loss). The
+// evaluation itself lives in internal/engine, the sharded, memory-bounded
+// core shared with σ; this package keeps the paper-facing API, the
+// convergence definitions 6–8 as executable checks, and RunReference, the
+// original clone-everything evaluator retained as the differential-testing
+// oracle.
 package async
 
 import (
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/matrix"
 	"repro/internal/schedule"
 )
 
 // Run evaluates δ over the schedule and returns the full history
-// [δ⁰(X), δ¹(X), ..., δᵀ(X)].
+// [δ⁰(X), δ¹(X), ..., δᵀ(X)]. Because the contract materialises every
+// state, it retains the whole history; callers that need only the limit
+// should use Final (bounded memory) instead.
 func Run[R any](
+	alg core.Algebra[R],
+	adj *matrix.Adjacency[R],
+	start *matrix.State[R],
+	sched *schedule.Schedule,
+) []*matrix.State[R] {
+	eng := engine.New(alg, adj, engine.Config{HistoryWindow: engine.KeepAll})
+	return eng.Run(start, sched).History()
+}
+
+// RunReference is the literal Section 3.1 evaluator the engine replaced:
+// it clones the full n×n state at every step and keeps every clone. It is
+// the oracle the engine's equivalence tests compare against, and the
+// baseline its benchmarks measure the copy-on-write win over.
+func RunReference[R any](
 	alg core.Algebra[R],
 	adj *matrix.Adjacency[R],
 	start *matrix.State[R],
@@ -58,15 +77,15 @@ func Run[R any](
 	return history
 }
 
-// Final evaluates δ and returns only δᵀ(X).
+// Final evaluates δ and returns only δᵀ(X), retaining no more history than
+// the schedule's β actually reaches.
 func Final[R any](
 	alg core.Algebra[R],
 	adj *matrix.Adjacency[R],
 	start *matrix.State[R],
 	sched *schedule.Schedule,
 ) *matrix.State[R] {
-	h := Run(alg, adj, start, sched)
-	return h[len(h)-1]
+	return engine.Run(alg, adj, start, sched).Final()
 }
 
 // ConvergenceTime returns the earliest t such that the history is constant

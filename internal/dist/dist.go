@@ -1,0 +1,300 @@
+// Package dist is the live asynchronous engine: one goroutine per router
+// exchanging encoded full-table advertisements over a transport that may
+// drop, duplicate, delay and reorder them. It is the third substrate of
+// the Section 3 model — alongside the literal δ evaluator and the
+// deterministic event simulator — and it shares the same per-node update
+// kernel (matrix.SigmaRowInto); only the source of the neighbour tables
+// differs: here they come from a receive cache fed by real concurrency.
+package dist
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Config controls a live run.
+type Config struct {
+	// Seed drives the per-node activation jitter.
+	Seed int64
+	// Timeout aborts the run (non-convergence) after this wall-clock time.
+	// Default: 30s.
+	Timeout time.Duration
+	// ActivateEvery is the mean per-node recomputation period. Default: 2ms.
+	ActivateEvery time.Duration
+	// ReadvertiseEvery is the period of unconditional full-table
+	// re-advertisement — the soft-state repair that discharges S3 under
+	// loss. Default: 20ms.
+	ReadvertiseEvery time.Duration
+	// SettleWindow is how long the global state must stay unchanged — while
+	// σ-stable with consistent caches — before the run is declared
+	// converged. Default: 8 × ReadvertiseEvery.
+	SettleWindow time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout == 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.ActivateEvery == 0 {
+		c.ActivateEvery = 2 * time.Millisecond
+	}
+	if c.ReadvertiseEvery == 0 {
+		c.ReadvertiseEvery = 20 * time.Millisecond
+	}
+	if c.SettleWindow == 0 {
+		c.SettleWindow = 8 * c.ReadvertiseEvery
+	}
+	return c
+}
+
+// Outcome is the result of a live run.
+type Outcome[R any] struct {
+	// Final is the global routing state when the run ended.
+	Final *matrix.State[R]
+	// Converged reports whether the run settled on a σ-stable state with
+	// consistent receive caches for a full settle window before Timeout.
+	Converged bool
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// Describe renders a one-line summary of an outcome.
+func (o Outcome[R]) Describe() string {
+	if o.Converged {
+		return fmt.Sprintf("converged in %v", o.Elapsed.Round(time.Millisecond))
+	}
+	return fmt.Sprintf("DID NOT CONVERGE within %v", o.Elapsed.Round(time.Millisecond))
+}
+
+// Network is a set of live routers wired to a transport.
+type Network[R any] struct {
+	alg   core.Algebra[R]
+	adj   *matrix.Adjacency[R]
+	codec wire.Codec[R]
+	tr    transport.Transport
+	cfg   Config
+
+	// mu guards the omniscient view used for convergence detection: the
+	// global state and every node's receive cache. Routers are still truly
+	// concurrent — the lock covers only cache/table writes, never message
+	// latency.
+	mu      sync.Mutex
+	state   *matrix.State[R]
+	recv    [][][]R // recv[i][k]: latest table delivered to i from k
+	recvSeq [][]uint64
+	changed time.Time
+}
+
+// NewNetwork builds a live network over the transport. The starting state
+// is cloned; the caller's copy is never mutated.
+func NewNetwork[R any](
+	alg core.Algebra[R],
+	adj *matrix.Adjacency[R],
+	start *matrix.State[R],
+	codec wire.Codec[R],
+	tr transport.Transport,
+	cfg Config,
+) *Network[R] {
+	n := adj.N
+	nw := &Network[R]{
+		alg:   alg,
+		adj:   adj.Clone(),
+		codec: codec,
+		tr:    tr,
+		cfg:   cfg.withDefaults(),
+		state: start.Clone(),
+	}
+	nw.recv = make([][][]R, n)
+	nw.recvSeq = make([][]uint64, n)
+	for i := 0; i < n; i++ {
+		nw.recv[i] = make([][]R, n)
+		nw.recvSeq[i] = make([]uint64, n)
+		for k := 0; k < n; k++ {
+			nw.recv[i][k] = start.Row(k)
+		}
+	}
+	return nw
+}
+
+// Run starts one goroutine per router plus a convergence monitor and
+// blocks until the network settles, the context is cancelled, or the
+// timeout fires.
+func (nw *Network[R]) Run(ctx context.Context) Outcome[R] {
+	ctx, cancel := context.WithTimeout(ctx, nw.cfg.Timeout)
+	defer cancel()
+	begin := time.Now()
+	nw.changed = begin
+
+	n := nw.adj.N
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			nw.router(ctx, i)
+		}(i)
+	}
+
+	converged := nw.monitor(ctx)
+	cancel()
+	wg.Wait()
+
+	nw.mu.Lock()
+	final := nw.state.Clone()
+	nw.mu.Unlock()
+	return Outcome[R]{Final: final, Converged: converged, Elapsed: time.Since(begin)}
+}
+
+// router is the per-node event loop: receive adverts into the cache,
+// recompute on a jittered timer, advertise on change and periodically.
+func (nw *Network[R]) router(ctx context.Context, i int) {
+	rng := rand.New(rand.NewSource(nw.cfg.Seed*1009 + int64(i)))
+	jitter := func(d time.Duration) time.Duration {
+		return d/2 + time.Duration(rng.Int63n(int64(d)))
+	}
+	activate := time.NewTimer(jitter(nw.cfg.ActivateEvery))
+	defer activate.Stop()
+	readvertise := time.NewTicker(jitter(nw.cfg.ReadvertiseEvery))
+	defer readvertise.Stop()
+
+	var seq uint64
+	n := nw.adj.N
+	scratch := make([]R, n)
+
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case msg, ok := <-nw.tr.Recv(i):
+			if !ok {
+				return
+			}
+			nw.deliver(i, msg)
+		case <-activate.C:
+			if nw.recompute(i, scratch) {
+				seq++
+				nw.advertise(i, seq)
+			}
+			activate.Reset(jitter(nw.cfg.ActivateEvery))
+		case <-readvertise.C:
+			seq++
+			nw.advertise(i, seq)
+		}
+	}
+}
+
+// deliver decodes an advert and installs it in node i's receive cache,
+// discarding reordered duplicates of older adverts (the soft-state
+// freshness guard every real routing daemon applies).
+func (nw *Network[R]) deliver(i int, msg transport.Message) {
+	adv, err := wire.DecodeAdvert(msg.Payload)
+	if err != nil || adv.From < 0 || adv.From >= nw.adj.N || len(adv.Rows) != nw.adj.N {
+		return // corrupt frames are indistinguishable from loss
+	}
+	row := make([]R, len(adv.Rows))
+	for j, b := range adv.Rows {
+		r, err := nw.codec.Decode(b)
+		if err != nil {
+			return
+		}
+		row[j] = r
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if adv.Seq < nw.recvSeq[i][adv.From] {
+		return
+	}
+	nw.recvSeq[i][adv.From] = adv.Seq
+	nw.recv[i][adv.From] = row
+}
+
+// recompute applies the shared σ-row kernel to node i's receive cache and
+// reports whether the node's table changed.
+func (nw *Network[R]) recompute(i int, scratch []R) bool {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	row := matrix.SigmaRowInto(nw.alg, nw.adj, i, nw.recv[i], scratch)
+	changed := false
+	for j := range row {
+		if !nw.alg.Equal(row[j], nw.state.Get(i, j)) {
+			changed = true
+			break
+		}
+	}
+	if changed {
+		nw.state.SetRow(i, row)
+		nw.changed = time.Now()
+	}
+	return changed
+}
+
+// advertise encodes node i's current table and sends it to every listener
+// (nodes j with an edge (j, i), i.e. nodes whose σ-row reads i's table).
+func (nw *Network[R]) advertise(i int, seq uint64) {
+	nw.mu.Lock()
+	row := nw.state.Row(i)
+	nw.mu.Unlock()
+	rows := make([][]byte, len(row))
+	for j, r := range row {
+		b, err := nw.codec.Encode(r)
+		if err != nil {
+			return
+		}
+		rows[j] = b
+	}
+	payload := wire.EncodeAdvert(wire.Advert{From: i, Seq: seq, Rows: rows})
+	for j := 0; j < nw.adj.N; j++ {
+		if _, ok := nw.adj.Edge(j, i); ok && j != i {
+			_ = nw.tr.Send(transport.Message{From: i, To: j, Payload: payload})
+		}
+	}
+}
+
+// monitor polls for provable quiescence: the global state is σ-stable,
+// every receive cache read by some edge agrees with the sender's current
+// table, and nothing has changed for a full settle window (which dominates
+// the transport's maximum delay, so no perturbing advert is in flight).
+func (nw *Network[R]) monitor(ctx context.Context) bool {
+	tick := time.NewTicker(nw.cfg.SettleWindow / 8)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-tick.C:
+			if nw.quiescent() {
+				return true
+			}
+		}
+	}
+}
+
+func (nw *Network[R]) quiescent() bool {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if time.Since(nw.changed) < nw.cfg.SettleWindow {
+		return false
+	}
+	n := nw.adj.N
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			if _, ok := nw.adj.Edge(i, k); !ok {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if !nw.alg.Equal(nw.recv[i][k][j], nw.state.Get(k, j)) {
+					return false
+				}
+			}
+		}
+	}
+	return matrix.IsStable(nw.alg, nw.adj, nw.state)
+}

@@ -1,0 +1,120 @@
+package engine_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebras"
+	"repro/internal/async"
+	"repro/internal/engine"
+	"repro/internal/matrix"
+	"repro/internal/schedule"
+	"repro/internal/topology"
+)
+
+// benchNet is a hop-count ring of n nodes with chords every 8 hops —
+// sparse, like the topologies the paper's experiments run on.
+func benchNet(n int) (algebras.HopCount, *matrix.Adjacency[algebras.NatInf]) {
+	alg := algebras.HopCount{Limit: algebras.NatInf(2 * n)}
+	g := topology.Ring(n)
+	adj := topology.BuildUniform[algebras.NatInf](g, alg.AddEdge(1))
+	for i := 0; i < n; i += 8 {
+		j := (i + n/2) % n
+		if i != j {
+			adj.SetEdge(i, j, alg.AddEdge(2))
+			adj.SetEdge(j, i, alg.AddEdge(2))
+		}
+	}
+	return alg, adj
+}
+
+// BenchmarkEngineDelta evaluates δ with the sharded, memory-bounded
+// engine. n = 32 and 128 run a materialised random schedule (shared with
+// BenchmarkLegacyDelta so allocs/op are directly comparable); n = 512
+// runs the lazy Hashed source, which a materialised schedule could not
+// reach without ~400 MB of β tables.
+func BenchmarkEngineDelta(b *testing.B) {
+	for _, n := range []int{32, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			alg, adj := benchNet(n)
+			start := matrix.Identity[algebras.NatInf](alg, n)
+			sched := benchSchedule(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := engine.Run[algebras.NatInf](alg, adj, start, sched)
+				if res.Final() == nil {
+					b.Fatal("no result")
+				}
+			}
+		})
+	}
+	b.Run("n=512", func(b *testing.B) {
+		n := 512
+		alg, adj := benchNet(n)
+		start := matrix.Identity[algebras.NatInf](alg, n)
+		src := engine.Hashed{N: n, T: n / 2, Seed: 1, MaxStaleness: 8}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := engine.Run[algebras.NatInf](alg, adj, start, src)
+			if res.Final() == nil {
+				b.Fatal("no result")
+			}
+		}
+	})
+}
+
+// BenchmarkLegacyDelta is the clone-everything reference evaluator on the
+// same schedules, the baseline the engine's copy-on-write and recycling
+// are measured against.
+func BenchmarkLegacyDelta(b *testing.B) {
+	for _, n := range []int{32, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			alg, adj := benchNet(n)
+			start := matrix.Identity[algebras.NatInf](alg, n)
+			sched := benchSchedule(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h := async.RunReference[algebras.NatInf](alg, adj, start, sched)
+				if h[len(h)-1] == nil {
+					b.Fatal("no result")
+				}
+			}
+		})
+	}
+}
+
+// benchSchedule draws the shared materialised schedule: horizon 2n,
+// half the nodes active per step, β up to 8 steps stale.
+func benchSchedule(n int) *schedule.Schedule {
+	rng := rand.New(rand.NewSource(int64(n)))
+	return schedule.Random(rng, n, 2*n, schedule.Options{MaxGap: 16, MaxStaleness: 8})
+}
+
+// BenchmarkEngineSigma measures one sharded synchronous round against the
+// sequential matrix.Sigma baseline.
+func BenchmarkEngineSigma(b *testing.B) {
+	for _, n := range []int{128, 512} {
+		alg, adj := benchNet(n)
+		x := matrix.Identity[algebras.NatInf](alg, n)
+		eng := engine.New[algebras.NatInf](alg, adj, engine.Config{})
+		out := matrix.NewState(n, alg.Invalid())
+		b.Run(fmt.Sprintf("sharded/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng.SigmaInto(x, out)
+			}
+		})
+		b.Run(fmt.Sprintf("sequential/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if matrix.Sigma[algebras.NatInf](alg, adj, x) == nil {
+					b.Fatal("nil")
+				}
+			}
+		})
+	}
+}

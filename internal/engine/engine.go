@@ -1,0 +1,398 @@
+// Package engine is the unified simulation core behind both the
+// synchronous iteration σ and the asynchronous iteration δ of the paper.
+// One evaluator serves both: σ is δ under the all-active Synchronous
+// source, and every other schedule — materialised (*schedule.Schedule) or
+// lazy — plugs into the same loop.
+//
+// Three properties distinguish it from the literal evaluator it replaces
+// (now async.RunReference):
+//
+//   - Copy-on-write rows. A time step shares the row storage of every
+//     node that did not activate, so a step with a active nodes costs
+//     O(a·n + n) memory instead of the O(n²) full-state clone.
+//   - Bounded history. β can only reach MaxLookback steps into the past,
+//     so only that window of states is retained, in a ring whose evicted
+//     rows are recycled; steady-state evaluation allocates (almost)
+//     nothing. The keep-everything mode remains available (KeepAll) for
+//     replay and convergence-time analysis.
+//   - Sharded recomputation. The per-node σ-row updates of one step are
+//     independent, so they fan out across a worker pool — and split by
+//     destination column on large networks — with a deterministic merge:
+//     every worker writes a disjoint span, so the result is bit-identical
+//     to the sequential path.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// KeepAll, as Config.HistoryWindow, retains every state of the run so the
+// full history [δ⁰(X) … δᵀ(X)] can be materialised afterwards.
+const KeepAll = -1
+
+// minParallelOps is the per-step work (active rows × n × n) below which
+// the engine stays sequential; fanning out tiny steps costs more in
+// goroutine wake-ups than it saves.
+const minParallelOps = 1 << 14
+
+// defaultShardColumns is the network size at which one row's destinations
+// are split across workers when there are fewer active rows than workers.
+const defaultShardColumns = 128
+
+// Config tunes an Engine. The zero value is the right default everywhere:
+// automatic history sizing and a GOMAXPROCS-wide pool.
+type Config struct {
+	// HistoryWindow is how many past states the engine retains for β
+	// lookups. 0 = auto: use the source's MaxLookback when it implements
+	// Bounded, otherwise keep everything. KeepAll (−1) = keep everything.
+	// w > 0 = a fixed ring of w past states; a β reaching further back
+	// panics, naming the offending lookup.
+	HistoryWindow int
+	// Workers sizes the row-recomputation pool. 0 = GOMAXPROCS, 1 =
+	// sequential.
+	Workers int
+	// ShardColumns is the network size from which a single row is split
+	// by destination column across idle workers. 0 = default (128);
+	// negative disables column sharding.
+	ShardColumns int
+}
+
+// Stats counts what a run did, for benchmarks and the dbfsim report.
+type Stats struct {
+	// Steps is the horizon T.
+	Steps int
+	// RowsComputed counts σ-row recomputations (activations).
+	RowsComputed int
+	// RowsRecycled counts row buffers reclaimed from evicted history.
+	RowsRecycled int
+	// Retained is the number of states held at the end of the run.
+	Retained int
+}
+
+// Engine evaluates δ (and, through the Synchronous source, σ) over one
+// algebra and topology. It is stateless between runs and safe for
+// concurrent use by separate goroutines.
+type Engine[R any] struct {
+	alg       core.Algebra[R]
+	adj       *matrix.Adjacency[R]
+	window    int // Config.HistoryWindow verbatim (0 = auto)
+	workers   int
+	shardCols int
+}
+
+// New builds an engine for the given algebra and topology.
+func New[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], cfg Config) *Engine[R] {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shard := cfg.ShardColumns
+	if shard == 0 {
+		shard = defaultShardColumns
+	}
+	return &Engine[R]{alg: alg, adj: adj, window: cfg.HistoryWindow, workers: workers, shardCols: shard}
+}
+
+// Run evaluates δ from start over the source's schedule with the default
+// configuration.
+func Run[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], start *matrix.State[R], src Source) *Result[R] {
+	return New(alg, adj, Config{}).Run(start, src)
+}
+
+// snapshot is one time step's global state as n row slices; rows are
+// shared with neighbouring snapshots for every node that did not activate
+// in between. Snapshots are immutable once published.
+type snapshot[R any] [][]R
+
+// rowTask is one unit of sharded work: compute dst[j0:j1] of node i's
+// σ-row from the β-resolved neighbour tables.
+type rowTask[R any] struct {
+	i, j0, j1 int
+	tabs      [][]R
+	dst       []R
+}
+
+// slabRows is how many rows a slab carves at once; batching keeps the
+// allocator out of the hot loop even before recycling warms up.
+const slabRows = 16
+
+// run is the mutable state of one evaluation.
+type run[R any] struct {
+	window   int // -1 = keep all
+	ring     []snapshot[R]
+	all      []snapshot[R]
+	freeRows [][]R
+	freeHdrs []snapshot[R]
+	rowSlab  []R
+	hdrSlab  [][]R
+	stats    Stats
+}
+
+func (r *run[R]) newRow(n int) []R {
+	if l := len(r.freeRows); l > 0 {
+		row := r.freeRows[l-1]
+		r.freeRows = r.freeRows[:l-1]
+		return row
+	}
+	if len(r.rowSlab) < n {
+		r.rowSlab = make([]R, slabRows*n)
+	}
+	row := r.rowSlab[:n:n]
+	r.rowSlab = r.rowSlab[n:]
+	return row
+}
+
+func (r *run[R]) newHeader(n int) snapshot[R] {
+	if l := len(r.freeHdrs); l > 0 {
+		h := r.freeHdrs[l-1]
+		r.freeHdrs = r.freeHdrs[:l-1]
+		return h[:n]
+	}
+	if len(r.hdrSlab) < n {
+		r.hdrSlab = make([][]R, slabRows*n)
+	}
+	h := r.hdrSlab[:n:n]
+	r.hdrSlab = r.hdrSlab[n:]
+	return h
+}
+
+// put publishes the state at time t, evicting — and recycling — whatever
+// ages out of the ring.
+func (r *run[R]) put(t int, s snapshot[R]) {
+	if r.window < 0 {
+		r.all = append(r.all, s)
+		return
+	}
+	size := r.window + 1
+	slot := t % size
+	if old := r.ring[slot]; old != nil {
+		// The evictee is the state at t−window−1; its immediate successor
+		// (t−window) is still resident. Row sharing is contiguous in time,
+		// so a row the successor does not share is unreachable and can be
+		// reused.
+		next := r.ring[(t-r.window)%size]
+		for i, row := range old {
+			if len(row) > 0 && &row[0] != &next[i][0] {
+				r.freeRows = append(r.freeRows, row)
+				r.stats.RowsRecycled++
+			}
+		}
+		r.freeHdrs = append(r.freeHdrs, old)
+	}
+	r.ring[slot] = s
+}
+
+// at resolves a β lookup: the state at time b, read while computing time t.
+func (r *run[R]) at(t, b int) snapshot[R] {
+	if b < 0 || b >= t {
+		panic(fmt.Sprintf("engine: β lookup at time %d resolves to %d, violating S2", t, b))
+	}
+	if r.window < 0 {
+		return r.all[b]
+	}
+	if t-b > r.window {
+		panic(fmt.Sprintf(
+			"engine: β at time %d reaches %d steps back but HistoryWindow is %d; raise Config.HistoryWindow or implement Bounded on the source",
+			t, t-b, r.window))
+	}
+	return r.ring[b%(r.window+1)]
+}
+
+// Run evaluates δ from start over src and returns the result. The final
+// state is always available; the full history only when the run retained
+// it (KeepAll, or auto mode over an unbounded source).
+func (e *Engine[R]) Run(start *matrix.State[R], src Source) *Result[R] {
+	n := src.Nodes()
+	if n != e.adj.N {
+		panic(fmt.Sprintf("engine: source has %d nodes but adjacency has %d", n, e.adj.N))
+	}
+	window := e.window
+	if window == 0 {
+		if b, ok := src.(Bounded); ok {
+			window = b.MaxLookback()
+		} else {
+			window = KeepAll
+		}
+	}
+	T := src.Horizon()
+	r := &run[R]{window: window}
+	if window >= 0 {
+		r.ring = make([]snapshot[R], window+1)
+	} else {
+		r.all = make([]snapshot[R], 0, T+1)
+	}
+
+	s0 := r.newHeader(n)
+	for i := range s0 {
+		row := r.newRow(n)
+		copy(row, start.RowView(i))
+		s0[i] = row
+	}
+	r.put(0, s0)
+
+	actives := make([]int, 0, n)
+	tabs := make([]snapshot[R], n) // per-node β-resolved table scratch
+	var tasks []rowTask[R]
+	prev := s0
+
+	for t := 1; t <= T; t++ {
+		actives = actives[:0]
+		for i := 0; i < n; i++ {
+			if src.Active(t, i) {
+				actives = append(actives, i)
+			}
+		}
+		cur := r.newHeader(n)
+		copy(cur, prev)
+		if len(actives) > 0 {
+			tasks = tasks[:0]
+			shards := e.shardsFor(len(actives), n)
+			for _, i := range actives {
+				tb := tabs[i]
+				if tb == nil {
+					tb = r.newHeader(n)
+					tabs[i] = tb
+				}
+				for k := 0; k < n; k++ {
+					if k == i {
+						continue
+					}
+					// Non-neighbour tables are never read by the kernel,
+					// so skip their β resolution — O(deg) per row, to
+					// match the kernel's own O(n·deg).
+					if _, ok := e.adj.Edge(i, k); !ok {
+						continue
+					}
+					tb[k] = r.at(t, src.Beta(t, i, k))[k]
+				}
+				dst := r.newRow(n)
+				cur[i] = dst
+				for s := 0; s < shards; s++ {
+					j0 := s * n / shards
+					j1 := (s + 1) * n / shards
+					tasks = append(tasks, rowTask[R]{i: i, j0: j0, j1: j1, tabs: tb, dst: dst})
+				}
+			}
+			e.exec(tasks, len(actives)*n*n)
+			r.stats.RowsComputed += len(actives)
+		}
+		r.put(t, cur)
+		prev = cur
+	}
+
+	r.stats.Steps = T
+	if window < 0 {
+		r.stats.Retained = len(r.all)
+	} else {
+		for _, s := range r.ring {
+			if s != nil {
+				r.stats.Retained++
+			}
+		}
+	}
+	res := &Result[R]{alg: e.alg, horizon: T, final: materialise(e.alg, prev), stats: r.stats}
+	if window < 0 {
+		res.snaps = r.all
+	}
+	return res
+}
+
+// shardsFor decides how many column spans each active row splits into:
+// one, unless the network is large and there are workers to spare.
+func (e *Engine[R]) shardsFor(actives, n int) int {
+	if e.shardCols < 0 || n < e.shardCols || actives >= e.workers || e.workers <= 1 {
+		return 1
+	}
+	shards := (e.workers + actives - 1) / actives
+	if shards > n {
+		shards = n
+	}
+	return shards
+}
+
+// exec runs the step's row tasks, across the pool when the step is big
+// enough to pay for the fan-out. Tasks write disjoint spans, so the
+// merge is a no-op and the result is bit-identical to sequential order.
+func (e *Engine[R]) exec(tasks []rowTask[R], ops int) {
+	if e.workers <= 1 || len(tasks) == 1 || ops < minParallelOps {
+		for _, tk := range tasks {
+			matrix.SigmaSpanInto(e.alg, e.adj, tk.i, tk.tabs, tk.dst, tk.j0, tk.j1)
+		}
+		return
+	}
+	workers := e.workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= len(tasks) {
+					return
+				}
+				tk := tasks[idx]
+				matrix.SigmaSpanInto(e.alg, e.adj, tk.i, tk.tabs, tk.dst, tk.j0, tk.j1)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// materialise copies a snapshot into a standalone matrix.State.
+func materialise[R any](alg core.Algebra[R], s snapshot[R]) *matrix.State[R] {
+	st := matrix.NewState(len(s), alg.Invalid())
+	for i, row := range s {
+		st.SetRow(i, row)
+	}
+	return st
+}
+
+// Sigma applies one synchronous round σ(X) = A(X) ⊕ I using the sharded
+// kernel; it is bit-identical to matrix.Sigma.
+func (e *Engine[R]) Sigma(x *matrix.State[R]) *matrix.State[R] {
+	out := matrix.NewState(x.N, e.alg.Invalid())
+	e.SigmaInto(x, out)
+	return out
+}
+
+// SigmaInto computes σ(x) into out (which must be distinct from x).
+func (e *Engine[R]) SigmaInto(x, out *matrix.State[R]) {
+	n := x.N
+	tabs := x.RowViews()
+	shards := e.shardsFor(n, n)
+	tasks := make([]rowTask[R], 0, n*shards)
+	for i := 0; i < n; i++ {
+		dst := out.RowView(i)
+		for s := 0; s < shards; s++ {
+			tasks = append(tasks, rowTask[R]{i: i, j0: s * n / shards, j1: (s + 1) * n / shards, tabs: tabs, dst: dst})
+		}
+	}
+	e.exec(tasks, n*n*n)
+}
+
+// FixedPoint iterates σ from start until a fixed point or maxRounds, the
+// sharded counterpart of matrix.FixedPoint. It returns the final state,
+// the number of rounds applied, and whether a fixed point was reached.
+func (e *Engine[R]) FixedPoint(start *matrix.State[R], maxRounds int) (*matrix.State[R], int, bool) {
+	x := start.Clone()
+	next := matrix.NewState(x.N, e.alg.Invalid())
+	for round := 0; round < maxRounds; round++ {
+		e.SigmaInto(x, next)
+		if next.Equal(e.alg, x) {
+			return x, round, true
+		}
+		x, next = next, x
+	}
+	return x, maxRounds, false
+}

@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// Result is the outcome of one Engine.Run: the final state δᵀ(X), the run
+// statistics, and — when the run retained it — the full history.
+type Result[R any] struct {
+	alg     core.Algebra[R]
+	horizon int
+	final   *matrix.State[R]
+	snaps   []snapshot[R] // non-nil only when history was retained
+	stats   Stats
+}
+
+// Final returns δᵀ(X).
+func (r *Result[R]) Final() *matrix.State[R] { return r.final }
+
+// Horizon returns T.
+func (r *Result[R]) Horizon() int { return r.horizon }
+
+// Stats returns the run's counters.
+func (r *Result[R]) Stats() Stats { return r.stats }
+
+// Retained reports whether the run kept its full history, i.e. whether At
+// and History are available.
+func (r *Result[R]) Retained() bool { return r.snaps != nil }
+
+// At materialises δᵗ(X). It panics when the run was memory-bounded; use
+// Config.HistoryWindow = KeepAll (or an unbounded source in auto mode) to
+// retain history.
+func (r *Result[R]) At(t int) *matrix.State[R] {
+	if r.snaps == nil {
+		panic("engine: history was not retained; run with Config{HistoryWindow: KeepAll}")
+	}
+	if t < 0 || t >= len(r.snaps) {
+		panic(fmt.Sprintf("engine: time %d outside history [0, %d]", t, len(r.snaps)-1))
+	}
+	return materialise(r.alg, r.snaps[t])
+}
+
+// History materialises the whole run [δ⁰(X), …, δᵀ(X)] in the legacy
+// []*matrix.State form consumed by async.ConvergenceTime and Replay. Like
+// At, it requires a history-retaining run.
+func (r *Result[R]) History() []*matrix.State[R] {
+	if r.snaps == nil {
+		panic("engine: history was not retained; run with Config{HistoryWindow: KeepAll}")
+	}
+	out := make([]*matrix.State[R], len(r.snaps))
+	for t := range r.snaps {
+		out[t] = materialise(r.alg, r.snaps[t])
+	}
+	return out
+}

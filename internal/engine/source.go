@@ -1,0 +1,140 @@
+package engine
+
+// Source supplies the (α, β) schedule driving a run: Active is α and Beta
+// is β in the Üresin & Dubois model of Section 3.1. *schedule.Schedule
+// satisfies Source; the types in this file are lazy sources that need no
+// O(T·n²) materialisation, which matters once horizons reach production
+// scale.
+type Source interface {
+	// Nodes returns n, the node count.
+	Nodes() int
+	// Horizon returns T, the last time step; the engine evaluates
+	// t = 1..T.
+	Horizon() int
+	// Active reports whether node i ∈ α(t).
+	Active(t, i int) bool
+	// Beta returns β(t, i, k) ∈ [0, t−1]: the time at which the data node
+	// i reads from node k at time t was generated.
+	Beta(t, i, k int) int
+}
+
+// Bounded is implemented by sources that know how far back β can reach.
+// The engine sizes its history ring from MaxLookback when Config leaves
+// HistoryWindow at auto; sources without it fall back to keeping the full
+// history.
+type Bounded interface {
+	// MaxLookback returns the maximum t − β(t, i, k) over activations the
+	// run performs; it is at least 1.
+	MaxLookback() int
+}
+
+// Synchronous is the schedule that recovers σ (Section 3.1): every node
+// activates at every step and always reads the previous step's data. It
+// is the lazy, O(1)-memory counterpart of schedule.Synchronous.
+type Synchronous struct{ N, T int }
+
+// Nodes implements Source.
+func (s Synchronous) Nodes() int { return s.N }
+
+// Horizon implements Source.
+func (s Synchronous) Horizon() int { return s.T }
+
+// Active implements Source: α(t) is every node.
+func (s Synchronous) Active(t, i int) bool { return true }
+
+// Beta implements Source: β ≡ t − 1.
+func (s Synchronous) Beta(t, i, k int) int { return t - 1 }
+
+// MaxLookback implements Bounded: the engine needs only one past state.
+func (s Synchronous) MaxLookback() int { return 1 }
+
+// Hashed is a lazy pseudo-random schedule: activations and β values are
+// derived from (Seed, t, i, k) by integer hashing, so a horizon of any
+// length costs O(1) memory — where schedule.Random materialises O(T·n²)
+// β entries. Node i is guaranteed to activate whenever (t+i) mod MaxGap
+// = 0 (bounded S1) and β never reaches further back than MaxStaleness
+// (bounded S3), so Theorem 4's hypotheses hold on every draw.
+type Hashed struct {
+	N, T int
+	Seed uint64
+	// ActivationProbMille is the per-node, per-step activation
+	// probability in thousandths; 0 means 500 (= 0.5).
+	ActivationProbMille int
+	// MaxGap bounds node silence (default 4n); MaxStaleness bounds
+	// t − β (default 8).
+	MaxGap, MaxStaleness int
+}
+
+func (h Hashed) gap() int {
+	if h.MaxGap > 0 {
+		return h.MaxGap
+	}
+	return 4 * h.N
+}
+
+func (h Hashed) staleness() int {
+	if h.MaxStaleness > 0 {
+		return h.MaxStaleness
+	}
+	return 8
+}
+
+// mix is SplitMix64 over the packed key, the standard statistically-solid
+// integer finaliser.
+func mix(seed, a, b uint64) uint64 {
+	z := seed ^ (a * 0x9e3779b97f4a7c15) ^ (b * 0xbf58476d1ce4e5b9)
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Nodes implements Source.
+func (h Hashed) Nodes() int { return h.N }
+
+// Horizon implements Source.
+func (h Hashed) Horizon() int { return h.T }
+
+// Active implements Source.
+func (h Hashed) Active(t, i int) bool {
+	if (t+i)%h.gap() == 0 {
+		return true
+	}
+	p := h.ActivationProbMille
+	if p == 0 {
+		p = 500
+	}
+	return int(mix(h.Seed, uint64(t), uint64(i))%1000) < p
+}
+
+// Beta implements Source.
+func (h Hashed) Beta(t, i, k int) int {
+	lo := t - h.staleness()
+	if lo < 0 {
+		lo = 0
+	}
+	return lo + int(mix(h.Seed^0xa5a5a5a5, uint64(t)<<20|uint64(i), uint64(k))%uint64(t-lo))
+}
+
+// MaxLookback implements Bounded.
+func (h Hashed) MaxLookback() int { return h.staleness() }
+
+// RoundRobin activates exactly one node per step, cycling 0..N−1, always
+// reading the previous step's data — the lazy counterpart of
+// schedule.RoundRobin.
+type RoundRobin struct{ N, T int }
+
+// Nodes implements Source.
+func (s RoundRobin) Nodes() int { return s.N }
+
+// Horizon implements Source.
+func (s RoundRobin) Horizon() int { return s.T }
+
+// Active implements Source: α(t) = {(t−1) mod N}.
+func (s RoundRobin) Active(t, i int) bool { return (t-1)%s.N == i }
+
+// Beta implements Source: β ≡ t − 1.
+func (s RoundRobin) Beta(t, i, k int) int { return t - 1 }
+
+// MaxLookback implements Bounded.
+func (s RoundRobin) MaxLookback() int { return 1 }

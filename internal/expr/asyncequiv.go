@@ -10,6 +10,7 @@ import (
 	"repro/internal/algebras"
 	"repro/internal/async"
 	"repro/internal/dist"
+	"repro/internal/engine"
 	"repro/internal/matrix"
 	"repro/internal/schedule"
 	"repro/internal/simulate"
@@ -29,11 +30,15 @@ type AsyncEquivalenceResult struct {
 	// simulator run through the literal δ evaluator reproduces the
 	// simulator's exact final state (the factorisation, demonstrated).
 	ReplayOK bool
+	// EngineOK reports that the sharded, memory-bounded engine produces
+	// bit-identical finals to the reference clone-everything evaluator on
+	// the same schedules.
+	EngineOK bool
 }
 
 // OK reports overall success.
 func (r AsyncEquivalenceResult) OK() bool {
-	return r.DeltaOK && r.SimulatorOK && r.LiveOK && r.SigmaRecovered && r.ReplayOK
+	return r.DeltaOK && r.SimulatorOK && r.LiveOK && r.SigmaRecovered && r.ReplayOK && r.EngineOK
 }
 
 // AsyncEquivalence is experiment E12 (Section 3): the three asynchronous
@@ -47,7 +52,7 @@ func AsyncEquivalence(w io.Writer, trials int) AsyncEquivalenceResult {
 	alg, adj := ripRing()
 	want, _, _ := matrix.FixedPoint[algebras.NatInf](alg, adj, matrix.Identity[algebras.NatInf](alg, 4), 100)
 	rng := rand.New(rand.NewSource(1201))
-	res := AsyncEquivalenceResult{DeltaOK: true, SimulatorOK: true, LiveOK: true, SigmaRecovered: true}
+	res := AsyncEquivalenceResult{DeltaOK: true, SimulatorOK: true, LiveOK: true, SigmaRecovered: true, EngineOK: true}
 
 	// δ recovers σ under the synchronous schedule.
 	sync := schedule.Synchronous(4, 10)
@@ -66,6 +71,14 @@ func AsyncEquivalence(w io.Writer, trials int) AsyncEquivalenceResult {
 		sched := schedule.Random(rng, 4, 300, schedule.Options{MaxGap: 8, MaxStaleness: 10})
 		if !async.Final[algebras.NatInf](alg, adj, start, sched).Equal(alg, want) {
 			res.DeltaOK = false
+		}
+
+		// The memory-bounded sharded engine must agree with the reference
+		// evaluator cell for cell, not merely reach the same limit.
+		ref := async.RunReference[algebras.NatInf](alg, adj, start, sched)
+		bounded := engine.New[algebras.NatInf](alg, adj, engine.Config{HistoryWindow: 10}).Run(start, sched)
+		if !bounded.Final().Equal(alg, ref[len(ref)-1]) {
+			res.EngineOK = false
 		}
 
 		out := simulate.Run[algebras.NatInf](alg, adj, start, simulate.Config{
@@ -113,6 +126,7 @@ func AsyncEquivalence(w io.Writer, trials int) AsyncEquivalenceResult {
 	fmt.Fprintf(tw, "substrate\treached the σ fixed point\n")
 	fmt.Fprintf(tw, "δ under synchronous schedule ≡ σ\t%s\n", pass(res.SigmaRecovered))
 	fmt.Fprintf(tw, "δ under random schedules (%d trials)\t%s\n", trials, pass(res.DeltaOK))
+	fmt.Fprintf(tw, "bounded-window sharded engine ≡ reference evaluator\t%s\n", pass(res.EngineOK))
 	fmt.Fprintf(tw, "event simulator, loss+dup+reorder (%d trials)\t%s\n", trials, pass(res.SimulatorOK))
 	fmt.Fprintf(tw, "δ replay of schedules extracted from simulator runs\t%s\n", pass(res.ReplayOK))
 	fmt.Fprintf(tw, "live goroutine engine over faulty transport\t%s\n", pass(res.LiveOK))

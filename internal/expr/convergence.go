@@ -6,7 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/algebras"
-	"repro/internal/async"
+	"repro/internal/engine"
 	"repro/internal/matrix"
 	"repro/internal/pathalg"
 	"repro/internal/paths"
@@ -61,7 +61,7 @@ func DistanceVector(w io.Writer, trials int) ConvergenceResult {
 	for i := 0; i < trials; i++ {
 		start := matrix.RandomStateFrom(rng, 4, alg.Universe())
 		sched := schedule.Random(rng, 4, 300, schedule.Options{MaxGap: 8, MaxStaleness: 10})
-		final := async.Final[algebras.NatInf](alg, adj, start, sched)
+		final := engine.Run[algebras.NatInf](alg, adj, start, sched).Final()
 		if final.Equal(alg, want) {
 			row.Converged++
 		} else {
@@ -189,7 +189,7 @@ func PathVector(w io.Writer, trials int) ConvergenceResult {
 	for i := 0; i < trials; i++ {
 		start := matrix.RandomState(rng, 4, gen)
 		sched := schedule.Adversarial(rng, 4, 500, 10, 12)
-		if async.Final[R](pvAlg, ringAdj, start, sched).Equal(pvAlg, want) {
+		if engine.Run[R](pvAlg, ringAdj, start, sched).Final().Equal(pvAlg, want) {
 			row.Converged++
 		} else {
 			row.UniqueLimit = false

@@ -6,12 +6,11 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gaorexford"
 	"repro/internal/matrix"
 	"repro/internal/schedule"
 	"repro/internal/simulate"
-
-	"repro/internal/async"
 )
 
 // GaoRexfordResult is experiment E9.
@@ -104,7 +103,7 @@ func GaoRexford(w io.Writer, trials int) GaoRexfordResult {
 		var final *matrix.State[gaorexford.Route]
 		if trial%2 == 0 {
 			sched := schedule.Adversarial(rng, 7, 700, 12, 14)
-			final = async.Final[gaorexford.Route](g, adj, start, sched)
+			final = engine.Run[gaorexford.Route](g, adj, start, sched).Final()
 		} else {
 			out := simulate.Run[gaorexford.Route](g, adj, start, simulate.Config{
 				Seed: int64(9100 + trial), LossProb: 0.25, DupProb: 0.1, MaxDelay: 15,

@@ -6,12 +6,11 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/matrix"
 	"repro/internal/policy"
 	"repro/internal/schedule"
 	"repro/internal/simulate"
-
-	"repro/internal/async"
 )
 
 // SafeByDesignResult is the outcome of experiment E7.
@@ -86,7 +85,7 @@ func SafeByDesign(w io.Writer, policies, networks int) SafeByDesignResult {
 			return policy.RandomRoute(rng, n)
 		})
 		sched := schedule.Adversarial(rng, n, 600, 10, 12)
-		if !async.Final[policy.Route](alg, adj, start, sched).Equal(alg, want) {
+		if !engine.Run[policy.Route](alg, adj, start, sched).Final().Equal(alg, want) {
 			res.AllConverged = false
 		}
 		// Simulator with faults.

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/algebras"
+	"repro/internal/engine"
 	"repro/internal/matrix"
 	"repro/internal/pathalg"
 	"repro/internal/paths"
@@ -54,7 +55,8 @@ func ConvergenceRate(w io.Writer, sizes []int, trialsPerSize int) RateResult {
 			alg := algebras.ShortestPaths{}
 			g := topology.Line(n)
 			adj := topology.BuildUniform[algebras.NatInf](g, alg.AddEdge(1))
-			_, clean, ok := matrix.FixedPoint[algebras.NatInf](alg, adj, matrix.Identity[algebras.NatInf](alg, n), 4*n*n)
+			eng := engine.New[algebras.NatInf](alg, adj, engine.Config{})
+			_, clean, ok := eng.FixedPoint(matrix.Identity[algebras.NatInf](alg, n), 4*n*n)
 			row := RateRow{Algebra: "shortest-paths (distributive)", Graph: "line", N: n, CleanRounds: clean}
 			// From arbitrary states the infinite carrier may count to
 			// infinity, so the worst-case sweep uses consistent random
@@ -62,7 +64,7 @@ func ConvergenceRate(w io.Writer, sizes []int, trialsPerSize int) RateResult {
 			worst := clean
 			for trial := 0; trial < trialsPerSize; trial++ {
 				start := matrix.RandomStateFrom(rng, n, []algebras.NatInf{0, 1, 2, algebras.NatInf(n), algebras.Inf})
-				if _, r, ok2 := matrix.FixedPoint[algebras.NatInf](alg, adj, start, 4*n*n); ok2 && r > worst {
+				if _, r, ok2 := eng.FixedPoint(start, 4*n*n); ok2 && r > worst {
 					worst = r
 				}
 			}
@@ -81,11 +83,12 @@ func ConvergenceRate(w io.Writer, sizes []int, trialsPerSize int) RateResult {
 			g := topology.Ring(n)
 			adj := topology.BuildUniform[algebras.NatInf](g, alg.AddEdge(1))
 			adj.SetEdge(0, n/2, alg.ConditionalEdge(1, algebras.DistanceAtMost(algebras.NatInf(n/2))))
-			_, clean, _ := matrix.FixedPoint[algebras.NatInf](alg, adj, matrix.Identity[algebras.NatInf](alg, n), 8*n*n)
+			eng := engine.New[algebras.NatInf](alg, adj, engine.Config{})
+			_, clean, _ := eng.FixedPoint(matrix.Identity[algebras.NatInf](alg, n), 8*n*n)
 			worst := clean
 			for trial := 0; trial < trialsPerSize; trial++ {
 				start := matrix.RandomStateFrom(rng, n, alg.Universe())
-				if _, r, ok2 := matrix.FixedPoint[algebras.NatInf](alg, adj, start, 8*n*n); ok2 && r > worst {
+				if _, r, ok2 := eng.FixedPoint(start, 8*n*n); ok2 && r > worst {
 					worst = r
 				}
 			}
@@ -109,7 +112,8 @@ func ConvergenceRate(w io.Writer, sizes []int, trialsPerSize int) RateResult {
 			baseAdj := topology.BuildUniform[algebras.NatInf](g, base.AddEdge(1))
 			adj := pathalg.LiftAdjacency(alg, baseAdj)
 			type R = pathalg.Route[algebras.NatInf]
-			_, clean, _ := matrix.FixedPoint[R](alg, adj, matrix.Identity[R](alg, n), 8*n*n)
+			eng := engine.New[R](alg, adj, engine.Config{})
+			_, clean, _ := eng.FixedPoint(matrix.Identity[R](alg, n), 8*n*n)
 			worst := clean
 			gen := func(rng *rand.Rand, _, _ int) R {
 				if rng.Intn(5) == 0 {
@@ -120,7 +124,7 @@ func ConvergenceRate(w io.Writer, sizes []int, trialsPerSize int) RateResult {
 			}
 			for trial := 0; trial < trialsPerSize; trial++ {
 				start := matrix.RandomState(rng, n, gen)
-				if _, r, ok2 := matrix.FixedPoint[R](alg, adj, start, 8*n*n); ok2 && r > worst {
+				if _, r, ok2 := eng.FixedPoint(start, 8*n*n); ok2 && r > worst {
 					worst = r
 				}
 			}

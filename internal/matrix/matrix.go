@@ -50,6 +50,21 @@ func (x *State[R]) Row(i int) []R {
 	return out
 }
 
+// RowView returns row i's backing slice without copying. Mutating the
+// state invalidates the view's contents; callers that need a stable copy
+// must use Row.
+func (x *State[R]) RowView(i int) []R { return x.cells[i*x.N : (i+1)*x.N] }
+
+// RowViews returns a view of every row, indexed by node. It is the
+// zero-copy neighbour-table form consumed by SigmaRowInto.
+func (x *State[R]) RowViews() [][]R {
+	out := make([][]R, x.N)
+	for i := range out {
+		out[i] = x.RowView(i)
+	}
+	return out
+}
+
 // SetRow overwrites row i with the given table (length must be N).
 func (x *State[R]) SetRow(i int, row []R) {
 	if len(row) != x.N {

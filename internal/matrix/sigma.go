@@ -25,22 +25,70 @@ func SigmaCell[R any](alg core.Algebra[R], a *Adjacency[R], x *State[R], i, j in
 	return best
 }
 
+// SigmaRowInto computes node i's σ-row from the neighbour tables in tabs
+// and writes it into dst (allocated when nil), returning dst. tabs[k] is
+// the table node i currently sees from node k; entries for k = i or for k
+// without an (i, k) edge are never read and may be nil. This is the single
+// per-node update kernel shared by σ, the δ evaluator in internal/engine,
+// the event simulator, and the live goroutine engine — they differ only in
+// where tabs comes from (the current state, the β-indexed history, or a
+// receive cache).
+func SigmaRowInto[R any](alg core.Algebra[R], a *Adjacency[R], i int, tabs [][]R, dst []R) []R {
+	if dst == nil {
+		dst = make([]R, a.N)
+	}
+	SigmaSpanInto(alg, a, i, tabs, dst, 0, a.N)
+	return dst
+}
+
+// SigmaSpanInto is SigmaRowInto restricted to destinations j ∈ [j0, j1):
+// the column-sharded form the engine uses to split one row's recomputation
+// across workers on large networks. dst must have length N; only the span
+// is written.
+//
+// The loops run k-outer so the edge lookup happens once per neighbour
+// rather than once per cell — O(n·deg) instead of O(n²) on sparse
+// topologies. Each cell still folds ⊕ over neighbours in ascending-k
+// order, so the result is bit-identical to the j-outer form.
+func SigmaSpanInto[R any](alg core.Algebra[R], a *Adjacency[R], i int, tabs [][]R, dst []R, j0, j1 int) {
+	inv := alg.Invalid()
+	for j := j0; j < j1; j++ {
+		dst[j] = inv
+	}
+	for k := 0; k < a.N; k++ {
+		if k == i {
+			continue
+		}
+		e, ok := a.Edge(i, k)
+		if !ok {
+			continue
+		}
+		tk := tabs[k]
+		for j := j0; j < j1; j++ {
+			if j == i {
+				continue
+			}
+			dst[j] = alg.Choice(dst[j], e.Apply(tk[j]))
+		}
+	}
+	if j0 <= i && i < j1 {
+		dst[i] = alg.Trivial()
+	}
+}
+
 // SigmaRow recomputes node i's whole routing table from the neighbour
 // tables recorded in x. It is the per-node update that both the
 // asynchronous evaluator and the message-passing engines share with σ.
 func SigmaRow[R any](alg core.Algebra[R], a *Adjacency[R], x *State[R], i int) []R {
-	row := make([]R, a.N)
-	for j := 0; j < a.N; j++ {
-		row[j] = SigmaCell(alg, a, x, i, j)
-	}
-	return row
+	return SigmaRowInto(alg, a, i, x.RowViews(), nil)
 }
 
 // Sigma applies one synchronous Bellman-Ford round: σ(X) = A(X) ⊕ I.
 func Sigma[R any](alg core.Algebra[R], a *Adjacency[R], x *State[R]) *State[R] {
 	out := NewState(x.N, alg.Invalid())
+	tabs := x.RowViews()
 	for i := 0; i < x.N; i++ {
-		out.SetRow(i, SigmaRow(alg, a, x, i))
+		SigmaRowInto(alg, a, i, tabs, out.RowView(i))
 	}
 	return out
 }

@@ -53,6 +53,33 @@ func New(n, t int) *Schedule {
 	return s
 }
 
+// Nodes returns n, the node count. Together with Horizon, Active and
+// Beta it makes *Schedule satisfy the engine's Source interface.
+func (s *Schedule) Nodes() int { return s.N }
+
+// Horizon returns T, the last time step.
+func (s *Schedule) Horizon() int { return s.T }
+
+// MaxLookback returns the largest t − β(t, i, k) over the activations the
+// evaluator will actually perform (i ∈ α(t)), i.e. the history window a
+// bounded evaluator must retain to run this schedule. It is at least 1.
+func (s *Schedule) MaxLookback() int {
+	max := 1
+	for t := 1; t <= s.T; t++ {
+		for i := 0; i < s.N; i++ {
+			if !s.alpha[t][i] {
+				continue
+			}
+			for _, b := range s.beta[t][i] {
+				if t-b > max {
+					max = t - b
+				}
+			}
+		}
+	}
+	return max
+}
+
 // Active reports whether node i ∈ α(t).
 func (s *Schedule) Active(t, i int) bool { return s.alpha[t][i] }
 

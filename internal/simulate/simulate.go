@@ -172,6 +172,9 @@ type engine[R any] struct {
 	genRoute  func(rng *rand.Rand) R
 	changes   []Change[R]
 	rec       *trace.Recorder
+	// rowScratch is the reusable buffer activate computes σ-rows into;
+	// SetRow and advertise both copy, so reuse is safe.
+	rowScratch []R
 
 	// Schedule extraction (nil unless requested): the logical step
 	// counter, each node's last activation step, the step each receive
@@ -350,24 +353,12 @@ func (e *engine[R]) activate(now int64, i int) {
 		e.extract.Entries = append(e.extract.Entries, entry)
 		e.ownStep[i] = e.stepCount
 	}
-	// Recompute from the receive caches (this realises δ's β lookup).
-	row := make([]R, n)
-	for j := 0; j < n; j++ {
-		if i == j {
-			row[j] = e.alg.Trivial()
-			continue
-		}
-		best := e.alg.Invalid()
-		for k := 0; k < n; k++ {
-			if k == i {
-				continue
-			}
-			if f, ok := e.adj.Edge(i, k); ok {
-				best = e.alg.Choice(best, f.Apply(e.recv[i][k][j]))
-			}
-		}
-		row[j] = best
+	// Recompute from the receive caches with the shared σ-row kernel
+	// (this realises δ's β lookup).
+	if e.rowScratch == nil {
+		e.rowScratch = make([]R, n)
 	}
+	row := matrix.SigmaRowInto(e.alg, e.adj, i, e.recv[i], e.rowScratch)
 	changed := false
 	for j := 0; j < n; j++ {
 		if !e.alg.Equal(row[j], e.state.Get(i, j)) {
