@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/algebras"
+	"repro/internal/engine"
 	"repro/internal/expr"
 	"repro/internal/matrix"
 	"repro/internal/pathalg"
@@ -109,6 +110,43 @@ func BenchmarkConvergenceRate(b *testing.B) {
 			b.Fatal("E10 bound violated")
 		}
 	}
+}
+
+// BenchmarkE5EngineConvergence is the E5 scenario at production scale on
+// the hot path: distance-vector absolute convergence at n = 512, run
+// through the incremental δ engine over a fair pseudo-random schedule.
+// The run must certify convergence (early termination) and land on a
+// σ-stable state; cells/op exposes the change-driven engine's
+// output-sensitive cost on the paper-artefact harness.
+func BenchmarkE5EngineConvergence(b *testing.B) {
+	const n = 512
+	alg := algebras.HopCount{Limit: algebras.NatInf(2 * n)}
+	g := topology.Ring(n)
+	adj := topology.BuildUniform[algebras.NatInf](g, alg.AddEdge(1))
+	for i := 0; i < n; i += 8 {
+		if j := (i + n/2) % n; j != i {
+			adj.SetEdge(i, j, alg.AddEdge(2))
+			adj.SetEdge(j, i, alg.AddEdge(2))
+		}
+	}
+	start := matrix.Identity[algebras.NatInf](alg, n)
+	src := engine.Hashed{N: n, T: 10 * n, Seed: 5, MaxGap: 16, MaxStaleness: 8}
+	eng := engine.New[algebras.NatInf](alg, adj, engine.Config{})
+	defer eng.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cells int
+	for i := 0; i < b.N; i++ {
+		res := eng.Run(start, src)
+		if _, ok := res.Converged(); !ok {
+			b.Fatal("E5 engine run did not certify convergence")
+		}
+		if !matrix.IsStable[algebras.NatInf](alg, adj, res.Final()) {
+			b.Fatal("E5 engine limit is not σ-stable")
+		}
+		cells += res.Stats().CellsComputed
+	}
+	b.ReportMetric(float64(cells)/float64(b.N), "cells/op")
 }
 
 // BenchmarkAsyncEngines runs the E12 three-substrate equivalence.

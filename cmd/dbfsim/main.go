@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/algebras"
 	"repro/internal/core"
@@ -32,7 +34,11 @@ import (
 	"repro/internal/trace"
 )
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain carries the program body so deferred profile writers run
+// before the exit code is surfaced (os.Exit would skip them).
+func realMain() int {
 	var (
 		algebra = flag.String("algebra", "rip", "routing algebra: shortest|rip|widest|pv|gr|policy")
 		topo    = flag.String("topo", "ring", "topology: line|ring|grid|clique|star|random|fattree")
@@ -47,14 +53,46 @@ func main() {
 		showTrace = flag.Bool("trace", false, "print the route-change timeline after the run")
 		modeFlag  = flag.String("mode", "sim", "evaluation substrate: sim (event simulator) | delta (schedule-driven engine)")
 		stepsFlag = flag.Int("steps", 0, "delta mode: schedule horizon T (default 50·n)")
+		incFlag   = flag.Bool("incremental", true,
+			"delta mode: change-driven evaluation (skip unchanged rows, recompute only affected cells, stop at the certified fixed point); false = full recomputation, for A/B comparison")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
 	mode = *modeFlag
 	deltaSteps = *stepsFlag
+	incremental = *incFlag
 	if mode != "sim" && mode != "delta" {
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", mode)
-		os.Exit(2)
+		return 2
 	}
 	if mode == "delta" {
 		flag.Visit(func(f *flag.Flag) {
@@ -117,7 +155,7 @@ func main() {
 		pol, err := policy.ParsePolicy(*polSrc)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		alg := policy.Algebra{}
 		adj := topology.Build[policy.Route](g, func(i, j int) core.Edge[policy.Route] {
@@ -134,17 +172,22 @@ func main() {
 		run[policy.Route](alg, adj, start, cfg, *seed)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown algebra %q\n", *algebra)
-		os.Exit(2)
+		return 2
 	}
+	return exitCode
 }
 
 // recorder, when non-nil, captures the run's event timeline for -trace.
 var recorder *trace.Recorder
 
-// mode selects the evaluation substrate; deltaSteps is -steps.
+// mode selects the evaluation substrate; deltaSteps is -steps;
+// incremental is -incremental; exitCode is the eventual process status
+// (set instead of os.Exit so deferred profile writers run).
 var (
-	mode       string
-	deltaSteps int
+	mode        string
+	deltaSteps  int
+	incremental bool
+	exitCode    int
 )
 
 func buildGraph(topo string, n int, seed int64) topology.Graph {
@@ -195,7 +238,7 @@ func run[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], start *matrix.Sta
 		fmt.Println(out.Describe())
 		report[R](alg, adj, out.Final)
 		if !out.Converged {
-			os.Exit(1)
+			exitCode = 1
 		}
 	}
 }
@@ -214,12 +257,24 @@ func runDelta[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], start *matri
 		T = 50 * n
 	}
 	src := engine.Hashed{N: n, T: T, Seed: uint64(seed), MaxStaleness: 8}
-	res := engine.Run[R](alg, adj, start, src)
+	cfg := engine.Config{}
+	if !incremental {
+		cfg.Incremental = engine.IncOff
+	}
+	eng := engine.New[R](alg, adj, cfg)
+	defer eng.Close()
+	res := eng.Run(start, src)
 	st := res.Stats()
-	fmt.Printf("δ engine: T=%d, rows computed=%d, row buffers recycled=%d, states retained=%d\n",
-		st.Steps, st.RowsComputed, st.RowsRecycled, st.Retained)
+	fmt.Printf("δ engine: T=%d of %d, rows computed=%d, rows skipped=%d, cells computed=%d\n",
+		st.Steps, T, st.RowsComputed, st.RowsSkipped, st.CellsComputed)
+	fmt.Printf("          row buffers recycled=%d, states retained=%d\n", st.RowsRecycled, st.Retained)
+	if at, ok := res.Converged(); ok {
+		fmt.Printf("          converged at t=%d (certified; run stopped %d steps early)\n", at, T-st.Steps)
+	} else if incremental {
+		fmt.Println("          convergence not certified within the horizon")
+	}
 	if stable := report[R](alg, adj, res.Final()); !stable {
-		os.Exit(1)
+		exitCode = 1
 	}
 }
 

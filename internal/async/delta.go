@@ -7,11 +7,13 @@
 //
 // β may point anywhere into the retained past — including times already
 // read (duplication), out of order (reordering) or never (loss). The
-// evaluation itself lives in internal/engine, the sharded, memory-bounded
-// core shared with σ; this package keeps the paper-facing API, the
-// convergence definitions 6–8 as executable checks, and RunReference, the
-// original clone-everything evaluator retained as the differential-testing
-// oracle.
+// evaluation itself lives in internal/engine, the sharded, memory-bounded,
+// change-driven core shared with σ: activations whose β-resolved inputs
+// did not change are skipped outright and the rest recompute only the
+// affected destination columns, bit-identically to the literal recursion.
+// This package keeps the paper-facing API, the convergence definitions
+// 6–8 as executable checks, and RunReference, the original
+// clone-everything evaluator retained as the differential-testing oracle.
 package async
 
 import (
@@ -77,8 +79,9 @@ func RunReference[R any](
 	return history
 }
 
-// Final evaluates δ and returns only δᵀ(X), retaining no more history than
-// the schedule's β actually reaches.
+// Final evaluates δ and returns only δᵀ(X), retaining no more history
+// than the schedule's β actually reaches and recomputing no more than the
+// schedule's activations actually change (the engine's incremental path).
 func Final[R any](
 	alg core.Algebra[R],
 	adj *matrix.Adjacency[R],

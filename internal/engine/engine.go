@@ -4,7 +4,7 @@
 // source, and every other schedule — materialised (*schedule.Schedule) or
 // lazy — plugs into the same loop.
 //
-// Three properties distinguish it from the literal evaluator it replaces
+// Four properties distinguish it from the literal evaluator it replaces
 // (now async.RunReference):
 //
 //   - Copy-on-write rows. A time step shares the row storage of every
@@ -16,16 +16,26 @@
 //     nothing. The keep-everything mode remains available (KeepAll) for
 //     replay and convergence-time analysis.
 //   - Sharded recomputation. The per-node σ-row updates of one step are
-//     independent, so they fan out across a worker pool — and split by
-//     destination column on large networks — with a deterministic merge:
-//     every worker writes a disjoint span, so the result is bit-identical
-//     to the sequential path.
+//     independent, so they fan out across a persistent worker pool — and
+//     split by destination column on large networks — with a
+//     deterministic merge: every worker writes a disjoint span, so the
+//     result is bit-identical to the sequential path.
+//   - Incremental (change-driven) evaluation. Real asynchronous protocols
+//     process received updates; they do not periodically recompute
+//     everything. The engine tracks, per node and destination, when each
+//     route last changed, skips an activation outright when none of the
+//     β-resolved inputs changed since the node's last recomputation, and
+//     otherwise recomputes only the affected destination columns, reusing
+//     the previous row copy-on-write for the rest. On convergence-tail
+//     workloads this turns O(T·n²) grinding into output-sensitive cost,
+//     and — for sources that promise fairness (Fair) — lets the run
+//     return its fixed point as soon as convergence is certified instead
+//     of marching to the horizon.
 package engine
 
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -38,15 +48,46 @@ const KeepAll = -1
 
 // minParallelOps is the per-step work (active rows × n × n) below which
 // the engine stays sequential; fanning out tiny steps costs more in
-// goroutine wake-ups than it saves.
+// worker wake-ups than it saves.
 const minParallelOps = 1 << 14
 
 // defaultShardColumns is the network size at which one row's destinations
 // are split across workers when there are fewer active rows than workers.
 const defaultShardColumns = 128
 
+// IncrementalMode selects change-driven evaluation (Config.Incremental).
+type IncrementalMode int
+
+const (
+	// IncAuto (the zero value) enables incremental evaluation; it is
+	// bit-identical to the full path on every schedule, so there is no
+	// reason to disable it except A/B measurement.
+	IncAuto IncrementalMode = iota
+	// IncOff forces the full path: every active row recomputes all n
+	// destinations. The baseline incremental runs are measured against.
+	IncOff
+)
+
+// TerminationMode selects early δ-termination (Config.Termination).
+type TerminationMode int
+
+const (
+	// TermAuto (the zero value) stops a run as soon as convergence is
+	// certified, provided the source implements Fair, incremental
+	// evaluation is on, and the run is not retaining its full history
+	// (keep-everything runs exist to materialise the whole horizon);
+	// otherwise the run goes to the horizon.
+	TermAuto TerminationMode = iota
+	// TermRequire demands early-termination capability: the engine panics
+	// at Run if the source is not Fair or incremental evaluation is off.
+	TermRequire
+	// TermOff always runs to the horizon.
+	TermOff
+)
+
 // Config tunes an Engine. The zero value is the right default everywhere:
-// automatic history sizing and a GOMAXPROCS-wide pool.
+// automatic history sizing, a GOMAXPROCS-wide pool, incremental
+// evaluation on, and early termination whenever the source allows it.
 type Config struct {
 	// HistoryWindow is how many past states the engine retains for β
 	// lookups. 0 = auto: use the source's MaxLookback when it implements
@@ -61,14 +102,36 @@ type Config struct {
 	// by destination column across idle workers. 0 = default (128);
 	// negative disables column sharding.
 	ShardColumns int
+	// Incremental selects change-driven evaluation; the default enables
+	// it.
+	Incremental IncrementalMode
+	// Termination selects early δ-termination; the default stops early
+	// whenever the source is Fair and incremental evaluation is on.
+	Termination TerminationMode
 }
 
 // Stats counts what a run did, for benchmarks and the dbfsim report.
 type Stats struct {
-	// Steps is the horizon T.
+	// Steps is the number of time steps actually evaluated: the horizon
+	// T, or less when the run terminated early at a certified fixed
+	// point.
 	Steps int
-	// RowsComputed counts σ-row recomputations (activations).
+	// RowsComputed counts σ-row recomputations (activations that did any
+	// work, full or partial).
 	RowsComputed int
+	// RowsSkipped counts activations discharged without recomputation
+	// because none of the node's β-resolved inputs had changed since its
+	// last recomputation.
+	RowsSkipped int
+	// CellsComputed counts individual σ-cell evaluations. The full path
+	// computes n cells per activation; the incremental path only the
+	// columns whose inputs changed — the ratio is the measure of the
+	// incremental win.
+	CellsComputed int
+	// ConvergedAt is the time step after which the state never changed,
+	// when the run certified convergence and returned early; −1
+	// otherwise.
+	ConvergedAt int
 	// RowsRecycled counts row buffers reclaimed from evicted history.
 	RowsRecycled int
 	// Retained is the number of states held at the end of the run.
@@ -77,13 +140,19 @@ type Stats struct {
 
 // Engine evaluates δ (and, through the Synchronous source, σ) over one
 // algebra and topology. It is stateless between runs and safe for
-// concurrent use by separate goroutines.
+// concurrent use by separate goroutines. Engines own a lazily-started
+// persistent worker pool; Close releases it early, and a GC cleanup
+// releases it for engines that are simply dropped.
 type Engine[R any] struct {
-	alg       core.Algebra[R]
-	adj       *matrix.Adjacency[R]
-	window    int // Config.HistoryWindow verbatim (0 = auto)
-	workers   int
-	shardCols int
+	alg         core.Algebra[R]
+	adj         *matrix.Adjacency[R]
+	window      int // Config.HistoryWindow verbatim (0 = auto)
+	workers     int
+	shardCols   int
+	incremental bool
+	termination TerminationMode
+	pool        *pool
+	cleanup     runtime.Cleanup
 }
 
 // New builds an engine for the given algebra and topology.
@@ -96,7 +165,23 @@ func New[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], cfg Config) *Engi
 	if shard == 0 {
 		shard = defaultShardColumns
 	}
-	return &Engine[R]{alg: alg, adj: adj, window: cfg.HistoryWindow, workers: workers, shardCols: shard}
+	e := &Engine[R]{
+		alg: alg, adj: adj,
+		window: cfg.HistoryWindow, workers: workers, shardCols: shard,
+		incremental: cfg.Incremental != IncOff,
+		termination: cfg.Termination,
+		pool:        newPool(workers - 1),
+	}
+	e.cleanup = runtime.AddCleanup(e, func(p *pool) { p.close() }, e.pool)
+	return e
+}
+
+// Close stops the engine's worker pool. Optional — a dropped engine's
+// pool is reclaimed by the garbage collector — but deterministic teardown
+// matters in tests and long-lived processes that churn engines.
+func (e *Engine[R]) Close() {
+	e.cleanup.Stop()
+	e.pool.close()
 }
 
 // Run evaluates δ from start over the source's schedule with the default
@@ -110,12 +195,44 @@ func Run[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], start *matrix.Sta
 // in between. Snapshots are immutable once published.
 type snapshot[R any] [][]R
 
+// incShared is the read-only incremental state a step's tasks consume:
+// the last-changed-time matrix and the per-worker scratch bitsets. It is
+// written only between steps, by the serial fold.
+type incShared struct {
+	n int
+	// ver[k·n+j] is the time at which node k's route to j last changed
+	// (0 = never since the start state). It is the compact union of every
+	// published snapshot's changed-destination bitsets: "did k's column j
+	// change in (lo, t]?" is exactly ver[k·n+j] > lo.
+	ver []int32
+	// scratch[w] is worker w's workspace.
+	scratch []workerScratch
+	// cells accumulates recomputed-cell counts from tracked tasks.
+	cells atomic.Int64
+}
+
+// workerScratch is one worker's private workspace: the dirty-column set
+// being assembled and the β-resolved ver-row slices of the current task's
+// neighbours.
+type workerScratch struct {
+	cols matrix.Bitset
+	rows [][]int32
+}
+
 // rowTask is one unit of sharded work: compute dst[j0:j1] of node i's
-// σ-row from the β-resolved neighbour tables.
+// σ-row from the β-resolved neighbour tables. Tracked tasks (inc != nil)
+// recompute only the columns whose inputs changed since the row's last
+// recomputation, copy prev for the rest, and record the columns whose
+// value moved in chg.
 type rowTask[R any] struct {
 	i, j0, j1 int
 	tabs      [][]R
 	dst       []R
+	inc       *incShared
+	prev      []R            // the row's previous value
+	nbr       []int32        // i's in-neighbours
+	lo        []int32        // per-neighbour unchanged-since thresholds
+	chg       *matrix.Bitset // changed-destination output, shared by shards
 }
 
 // slabRows is how many rows a slab carves at once; batching keeps the
@@ -132,6 +249,13 @@ type run[R any] struct {
 	rowSlab  []R
 	hdrSlab  [][]R
 	stats    Stats
+
+	// incremental bookkeeping (nil/empty when incremental is off)
+	inc      *incShared
+	rowMax   []int32         // rowMax[k] = max_j ver[k·n+j], the O(1) row-skip test
+	lastComp []int32         // time of node's last recomputation, −1 = never
+	lastRead []int32         // lastRead[i·n+k] = β used at i's last recomputation
+	chg      []matrix.Bitset // per-node changed-destination scratch
 }
 
 func (r *run[R]) newRow(n int) []R {
@@ -204,6 +328,63 @@ func (r *run[R]) at(t, b int) snapshot[R] {
 	return r.ring[b%(r.window+1)]
 }
 
+// terminationFor resolves whether this run may stop at a certified fixed
+// point, and the source's fairness period when it may.
+func (e *Engine[R]) terminationFor(src Source) (bool, int) {
+	f, fair := src.(Fair)
+	switch e.termination {
+	case TermOff:
+		return false, 0
+	case TermRequire:
+		if !e.incremental {
+			panic("engine: Config.Termination = TermRequire needs incremental evaluation, but Config.Incremental is IncOff")
+		}
+		if !fair {
+			panic(fmt.Sprintf(
+				"engine: Config.Termination = TermRequire needs a source with a fairness contract, but %T does not implement engine.Fair (materialised schedules make no fairness promise; use a lazy Fair source or TermAuto)",
+				src))
+		}
+	default: // TermAuto
+		if !e.incremental || !fair {
+			return false, 0
+		}
+	}
+	p := f.FairPeriod()
+	if p < 1 {
+		panic(fmt.Sprintf("engine: %T.FairPeriod() = %d, want ≥ 1", src, p))
+	}
+	return true, p
+}
+
+// neighbours builds the flat in-neighbour lists of the adjacency: node
+// i's neighbours are nbr[off[i]:off[i+1]]. Built per run because the
+// dynamic-topology experiments mutate adjacencies between runs.
+func (e *Engine[R]) neighbours() (nbr []int32, off []int32) {
+	n := e.adj.N
+	off = make([]int32, n+1)
+	deg := 0
+	for i := 0; i < n; i++ {
+		off[i] = int32(deg)
+		for k := 0; k < n; k++ {
+			if _, ok := e.adj.Edge(i, k); ok && k != i {
+				deg++
+			}
+		}
+	}
+	off[n] = int32(deg)
+	nbr = make([]int32, deg)
+	pos := 0
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			if _, ok := e.adj.Edge(i, k); ok && k != i {
+				nbr[pos] = int32(k)
+				pos++
+			}
+		}
+	}
+	return nbr, off
+}
+
 // Run evaluates δ from start over src and returns the result. The final
 // state is always available; the full history only when the run retained
 // it (KeepAll, or auto mode over an unbounded source).
@@ -212,13 +393,26 @@ func (e *Engine[R]) Run(start *matrix.State[R], src Source) *Result[R] {
 	if n != e.adj.N {
 		panic(fmt.Sprintf("engine: source has %d nodes but adjacency has %d", n, e.adj.N))
 	}
+	doTerm, fairP := e.terminationFor(src)
 	window := e.window
 	if window == 0 {
 		if b, ok := src.(Bounded); ok {
 			window = b.MaxLookback()
+		} else if f, ok := src.(Fair); ok {
+			// Fair promises β ≥ t − P, so a period's worth of history is
+			// always enough — a Fair source need not also spell out
+			// Bounded to get a bounded ring (and to keep TermAuto alive,
+			// which a KeepAll fallback would suppress).
+			window = f.FairPeriod()
 		} else {
 			window = KeepAll
 		}
+	}
+	if window < 0 && e.termination == TermAuto {
+		// A keep-everything run is for replaying or analysing the whole
+		// horizon; cutting it short under TermAuto would silently truncate
+		// the history the caller asked to retain. TermRequire overrides.
+		doTerm = false
 	}
 	T := src.Horizon()
 	r := &run[R]{window: window}
@@ -226,6 +420,20 @@ func (e *Engine[R]) Run(start *matrix.State[R], src Source) *Result[R] {
 		r.ring = make([]snapshot[R], window+1)
 	} else {
 		r.all = make([]snapshot[R], 0, T+1)
+	}
+	nbr, nbrOff := e.neighbours()
+	if e.incremental {
+		r.inc = &incShared{n: n, ver: make([]int32, n*n), scratch: make([]workerScratch, e.workers)}
+		for w, b := range matrix.NewBitsets(e.workers, n) {
+			r.inc.scratch[w].cols = b
+		}
+		r.rowMax = make([]int32, n)
+		r.lastComp = make([]int32, n)
+		for i := range r.lastComp {
+			r.lastComp[i] = -1
+		}
+		r.lastRead = make([]int32, n*n)
+		r.chg = matrix.NewBitsets(n, n)
 	}
 
 	s0 := r.newHeader(n)
@@ -241,6 +449,39 @@ func (e *Engine[R]) Run(start *matrix.State[R], src Source) *Result[R] {
 	var tasks []rowTask[R]
 	prev := s0
 
+	// Per-step incremental scratch. loArena backs the per-task threshold
+	// slices; its capacity covers every active row's degree, so in-step
+	// appends never reallocate out from under earlier tasks.
+	var (
+		loArena  []int32
+		betaBuf  []int
+		actMinB  []int32 // per processed activation: node and min β, for certification
+		actNodes []int32
+		certStmp []int32
+		certGen  int32 = 1
+		nCert    int
+	)
+	// pendRows/pendLo collect the rows that survive the skip pass; tasks
+	// are built afterwards so the column-shard decision sees the number of
+	// rows actually computing, not the raw active count (in a convergence
+	// tail most activations skip, and sharding over the survivors is what
+	// keeps the pool busy). pendLo is the row's offset into loArena, −1
+	// for a full (first-activation or non-incremental) recomputation.
+	pendRows := make([]int32, 0, n)
+	pendLo := make([]int32, 0, n)
+	if e.incremental {
+		loArena = make([]int32, 0, len(nbr))
+		betaBuf = make([]int, maxDegree(nbrOff))
+	}
+	if doTerm {
+		actMinB = make([]int32, 0, n)
+		actNodes = make([]int32, 0, n)
+		certStmp = make([]int32, n)
+	}
+	lastChange := 0
+	steps := T
+	converged := false
+
 	for t := 1; t <= T; t++ {
 		actives = actives[:0]
 		for i := 0; i < n; i++ {
@@ -250,43 +491,200 @@ func (e *Engine[R]) Run(start *matrix.State[R], src Source) *Result[R] {
 		}
 		cur := r.newHeader(n)
 		copy(cur, prev)
+		stepChanged := false
 		if len(actives) > 0 {
-			tasks = tasks[:0]
-			shards := e.shardsFor(len(actives), n)
+			pendRows = pendRows[:0]
+			pendLo = pendLo[:0]
+			if e.incremental {
+				loArena = loArena[:0]
+			}
+			if doTerm {
+				actMinB = actMinB[:0]
+				actNodes = actNodes[:0]
+			}
+			stepOps := 0
 			for _, i := range actives {
-				tb := tabs[i]
-				if tb == nil {
-					tb = r.newHeader(n)
-					tabs[i] = tb
-				}
-				for k := 0; k < n; k++ {
-					if k == i {
-						continue
+				nb := nbr[nbrOff[i]:nbrOff[i+1]]
+				minB := t
+				if e.incremental && r.lastComp[i] >= 0 {
+					// The node has a previous row. Decide in O(deg) whether
+					// any β-resolved input changed since it was computed;
+					// if not, the row is structurally unchanged — skip it.
+					base := i * n
+					arena0 := len(loArena)
+					skip := true
+					for ai, k32 := range nb {
+						k := int(k32)
+						b := src.Beta(t, i, k)
+						if b < minB {
+							minB = b
+						}
+						betaBuf[ai] = b
+						b0 := int(r.lastRead[base+k])
+						lo := b
+						if b0 < lo {
+							lo = b0
+						}
+						loArena = append(loArena, int32(lo))
+						if int(r.rowMax[k]) > lo {
+							skip = false
+						}
 					}
-					// Non-neighbour tables are never read by the kernel,
-					// so skip their β resolution — O(deg) per row, to
-					// match the kernel's own O(n·deg).
-					if _, ok := e.adj.Edge(i, k); !ok {
-						continue
+					if skip {
+						r.stats.RowsSkipped++
+						for ai, k32 := range nb {
+							// The kept row is also valid against the fresher
+							// read time — advance it to maximise future skips.
+							if slot := base + int(k32); int32(betaBuf[ai]) > r.lastRead[slot] {
+								r.lastRead[slot] = int32(betaBuf[ai])
+							}
+						}
+						loArena = loArena[:arena0]
+					} else {
+						tb := tabs[i]
+						if tb == nil {
+							tb = r.newHeader(n)
+							tabs[i] = tb
+						}
+						for ai, k32 := range nb {
+							k := int(k32)
+							tb[k] = r.at(t, betaBuf[ai])[k]
+							r.lastRead[base+k] = int32(betaBuf[ai])
+						}
+						r.lastComp[i] = int32(t)
+						cur[i] = r.newRow(n)
+						pendRows = append(pendRows, int32(i))
+						pendLo = append(pendLo, int32(arena0))
+						stepOps += n * (len(nb) + 1) // dirty scan; the kernel may touch far fewer cells
 					}
-					tb[k] = r.at(t, src.Beta(t, i, k))[k]
+				} else {
+					// Full recomputation: the non-incremental path, and a
+					// node's first activation (nothing to reuse yet). In
+					// incremental mode the full kernel still tracks changes
+					// against the node's starting row, so ConvergedAt and
+					// FixedPoint round counts stay exact.
+					tb := tabs[i]
+					if tb == nil {
+						tb = r.newHeader(n)
+						tabs[i] = tb
+					}
+					for _, k32 := range nb {
+						k := int(k32)
+						b := src.Beta(t, i, k)
+						if b < minB {
+							minB = b
+						}
+						tb[k] = r.at(t, b)[k]
+						if e.incremental {
+							r.lastRead[i*n+k] = int32(b)
+						}
+					}
+					cur[i] = r.newRow(n)
+					pendRows = append(pendRows, int32(i))
+					pendLo = append(pendLo, -1)
+					stepOps += n * n
+					if e.incremental {
+						r.lastComp[i] = int32(t)
+					} else {
+						r.stats.CellsComputed += n
+					}
 				}
-				dst := r.newRow(n)
-				cur[i] = dst
-				for s := 0; s < shards; s++ {
-					j0 := s * n / shards
-					j1 := (s + 1) * n / shards
-					tasks = append(tasks, rowTask[R]{i: i, j0: j0, j1: j1, tabs: tb, dst: dst})
+				if doTerm {
+					actNodes = append(actNodes, int32(i))
+					actMinB = append(actMinB, int32(minB))
 				}
 			}
-			e.exec(tasks, len(actives)*n*n)
-			r.stats.RowsComputed += len(actives)
+			if len(pendRows) > 0 {
+				tasks = tasks[:0]
+				shards := e.shardsFor(len(pendRows), n)
+				for pi, i32 := range pendRows {
+					i := int(i32)
+					nb := nbr[nbrOff[i]:nbrOff[i+1]]
+					tb := tabs[i]
+					dst := cur[i]
+					var (
+						incp    *incShared
+						prevRow []R
+						lo      []int32
+						chgI    *matrix.Bitset
+					)
+					if e.incremental {
+						incp = r.inc
+						prevRow = prev[i]
+						chgI = &r.chg[i]
+						if off := int(pendLo[pi]); off >= 0 {
+							lo = loArena[off : off+len(nb) : off+len(nb)]
+						}
+					}
+					for s := 0; s < shards; s++ {
+						tasks = append(tasks, rowTask[R]{
+							i: i, j0: s * n / shards, j1: (s + 1) * n / shards,
+							tabs: tb, dst: dst,
+							inc: incp, prev: prevRow, nbr: nb, lo: lo, chg: chgI,
+						})
+					}
+				}
+				e.exec(tasks, stepOps)
+			}
+			r.stats.RowsComputed += len(pendRows)
+
+			// Serial fold: publish this step's changed-destination sets
+			// into the last-changed matrix and the global dirty frontier.
+			if e.incremental {
+				for _, fi := range pendRows {
+					i := int(fi)
+					base := i * n
+					chgI := &r.chg[i]
+					if !chgI.Empty() {
+						chgI.ForEach(func(j int) { r.inc.ver[base+j] = int32(t) })
+						r.rowMax[i] = int32(t)
+						stepChanged = true
+						chgI.Clear()
+					}
+				}
+			}
 		}
 		r.put(t, cur)
 		prev = cur
+
+		if doTerm {
+			// Convergence certification. A change at t opens a new
+			// generation: every node must re-verify its row against data
+			// generated at or after the change. An activation whose every
+			// β lands at or after lastChange and that produced no change
+			// (skips qualify — their inputs provably didn't move) is such
+			// a verification. Once all n nodes are certified AND the
+			// frontier has been quiet for a full fairness period — so no
+			// future β can reach back before lastChange — the state is a
+			// fixed point that no schedule continuation can disturb.
+			if stepChanged {
+				lastChange = t
+				certGen++
+				nCert = 0
+			}
+			for idx, i32 := range actNodes {
+				if int(actMinB[idx]) >= lastChange && certStmp[i32] != certGen {
+					certStmp[i32] = certGen
+					nCert++
+				}
+			}
+			if nCert == n && t-lastChange >= fairP-1 {
+				steps = t
+				converged = true
+				break
+			}
+		}
 	}
 
-	r.stats.Steps = T
+	r.stats.Steps = steps
+	if e.incremental {
+		r.stats.CellsComputed += int(r.inc.cells.Load())
+	}
+	if converged {
+		r.stats.ConvergedAt = lastChange
+	} else {
+		r.stats.ConvergedAt = -1
+	}
 	if window < 0 {
 		r.stats.Retained = len(r.all)
 	} else {
@@ -296,11 +694,21 @@ func (e *Engine[R]) Run(start *matrix.State[R], src Source) *Result[R] {
 			}
 		}
 	}
-	res := &Result[R]{alg: e.alg, horizon: T, final: materialise(e.alg, prev), stats: r.stats}
+	res := &Result[R]{alg: e.alg, horizon: steps, final: materialise(e.alg, prev), stats: r.stats}
 	if window < 0 {
 		res.snaps = r.all
 	}
 	return res
+}
+
+func maxDegree(off []int32) int {
+	max := 0
+	for i := 0; i+1 < len(off); i++ {
+		if d := int(off[i+1] - off[i]); d > max {
+			max = d
+		}
+	}
+	return max
 }
 
 // shardsFor decides how many column spans each active row splits into:
@@ -316,37 +724,84 @@ func (e *Engine[R]) shardsFor(actives, n int) int {
 	return shards
 }
 
+// runTask executes one row task on behalf of the given worker. Untracked
+// tasks run the plain kernel; tracked tasks resolve their span's dirty
+// columns from the last-changed matrix, recompute only those, and record
+// which moved.
+func (e *Engine[R]) runTask(tk rowTask[R], worker int) {
+	if tk.inc == nil {
+		matrix.SigmaSpanInto(e.alg, e.adj, tk.i, tk.tabs, tk.dst, tk.j0, tk.j1)
+		return
+	}
+	if tk.lo == nil {
+		// Tracked full recomputation (first activation): every column is
+		// computed, changes recorded against the node's starting row.
+		computed := matrix.SigmaSpanIntoChanged(e.alg, e.adj, tk.i, tk.tabs, tk.prev, tk.dst, tk.j0, tk.j1, nil, tk.chg)
+		tk.inc.cells.Add(int64(computed))
+		return
+	}
+	// Resolve the span's dirty columns from the last-changed matrix.
+	// Column-outer with an early break: once one neighbour marks a column
+	// dirty the rest need not be consulted, so on heavily-changing steps
+	// the scan costs O(1) per column instead of O(deg).
+	n := tk.inc.n
+	ws := &tk.inc.scratch[worker]
+	rows := ws.rows[:0]
+	for _, k32 := range tk.nbr {
+		k := int(k32)
+		rows = append(rows, tk.inc.ver[k*n:(k+1)*n])
+	}
+	ws.rows = rows
+	cols := &ws.cols
+	lo := tk.lo
+	dirtyCnt := 0
+	for wi := tk.j0 >> 6; wi <= (tk.j1-1)>>6; wi++ {
+		var m uint64
+		jhi := wi<<6 + 64
+		if jhi > tk.j1 {
+			jhi = tk.j1
+		}
+		for j := max(tk.j0, wi<<6); j < jhi; j++ {
+			for ai := range rows {
+				if rows[ai][j] > lo[ai] {
+					m |= 1 << (j & 63)
+					dirtyCnt++
+					break
+				}
+			}
+		}
+		cols.StoreWord(wi, m)
+	}
+	if dirtyCnt == 0 {
+		copy(tk.dst[tk.j0:tk.j1], tk.prev[tk.j0:tk.j1])
+		return
+	}
+	if dirtyCnt == tk.j1-tk.j0 {
+		// Everything changed: the dense kernel's tight loops beat the
+		// bit-iterating sparse path.
+		cols = nil
+	}
+	computed := matrix.SigmaSpanIntoChanged(e.alg, e.adj, tk.i, tk.tabs, tk.prev, tk.dst, tk.j0, tk.j1, cols, tk.chg)
+	tk.inc.cells.Add(int64(computed))
+}
+
 // exec runs the step's row tasks, across the pool when the step is big
 // enough to pay for the fan-out. Tasks write disjoint spans, so the
 // merge is a no-op and the result is bit-identical to sequential order.
 func (e *Engine[R]) exec(tasks []rowTask[R], ops int) {
 	if e.workers <= 1 || len(tasks) == 1 || ops < minParallelOps {
 		for _, tk := range tasks {
-			matrix.SigmaSpanInto(e.alg, e.adj, tk.i, tk.tabs, tk.dst, tk.j0, tk.j1)
+			e.runTask(tk, 0)
 		}
 		return
 	}
-	workers := e.workers
-	if workers > len(tasks) {
-		workers = len(tasks)
+	want := e.workers
+	if want > len(tasks) {
+		want = len(tasks)
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for g := 0; g < workers; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				idx := int(next.Add(1)) - 1
-				if idx >= len(tasks) {
-					return
-				}
-				tk := tasks[idx]
-				matrix.SigmaSpanInto(e.alg, e.adj, tk.i, tk.tabs, tk.dst, tk.j0, tk.j1)
-			}
-		}()
-	}
-	wg.Wait()
+	e.pool.do(want, len(tasks), func(idx, worker int) {
+		e.runTask(tasks[idx], worker)
+	})
 }
 
 // materialise copies a snapshot into a standalone matrix.State.
@@ -384,7 +839,25 @@ func (e *Engine[R]) SigmaInto(x, out *matrix.State[R]) {
 // FixedPoint iterates σ from start until a fixed point or maxRounds, the
 // sharded counterpart of matrix.FixedPoint. It returns the final state,
 // the number of rounds applied, and whether a fixed point was reached.
+//
+// With incremental evaluation on (the default) it runs δ under the
+// Synchronous source and lets convergence certification stop the
+// iteration — each round recomputes only the cells whose inputs changed,
+// so the detection that used to cost an extra O(n²) Equal sweep per round
+// is free, and the total cost is output-sensitive.
 func (e *Engine[R]) FixedPoint(start *matrix.State[R], maxRounds int) (*matrix.State[R], int, bool) {
+	if e.incremental && e.termination != TermOff && e.window >= 0 {
+		// These conditions guarantee the run can certify: Synchronous is
+		// Fair and the window stays bounded, so TermAuto/TermRequire
+		// terminate at the fixed point. Configs that suppress
+		// certification (TermOff, explicit KeepAll) take the explicit
+		// Equal-sweep loop below instead of silently reporting failure.
+		res := e.Run(start, Synchronous{N: e.adj.N, T: maxRounds})
+		if at, ok := res.Converged(); ok {
+			return res.Final(), at, true
+		}
+		return res.Final(), maxRounds, false
+	}
 	x := start.Clone()
 	next := matrix.NewState(x.N, e.alg.Invalid())
 	for round := 0; round < maxRounds; round++ {

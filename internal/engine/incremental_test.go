@@ -1,0 +1,263 @@
+package engine_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebras"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/matrix"
+	"repro/internal/schedule"
+	"repro/internal/topology"
+)
+
+// The incremental contract: change-driven evaluation must be invisible —
+// bit-identical states, same history, same limit — while provably doing
+// less work, and fair runs must stop at the certified fixed point.
+
+// incrementalNet is the convergence-tail workload: a hop-count ring with
+// chords every 8 nodes, the benchmark topology at test scale.
+func incrementalNet(n int) (algebras.HopCount, *matrix.Adjacency[algebras.NatInf]) {
+	alg := algebras.HopCount{Limit: algebras.NatInf(2 * n)}
+	adj := matrix.NewAdjacency[algebras.NatInf](n)
+	link := func(i, j int, w algebras.NatInf) {
+		adj.SetEdge(i, j, alg.AddEdge(w))
+		adj.SetEdge(j, i, alg.AddEdge(w))
+	}
+	for i := 0; i < n; i++ {
+		link(i, (i+1)%n, 1)
+	}
+	for i := 0; i < n; i += 8 {
+		if j := (i + n/2) % n; j != i {
+			link(i, j, 2)
+		}
+	}
+	return alg, adj
+}
+
+// TestIncrementalMatchesFull holds the incremental path to bit-identity
+// with the full path over every kind of schedule, including with column
+// sharding forced on, across the three equivalence algebras.
+func TestIncrementalMatchesFull(t *testing.T) {
+	type net struct {
+		name string
+		run  func(t *testing.T, incCfg, fullCfg engine.Config)
+	}
+	nets := []net{
+		{"hopcount", func(t *testing.T, incCfg, fullCfg engine.Config) {
+			alg, adj, u := hopNet()
+			diffIncrementalFull(t, alg, adj, u, incCfg, fullCfg)
+		}},
+		{"lex", func(t *testing.T, incCfg, fullCfg engine.Config) {
+			alg, adj, u := lexNet()
+			diffIncrementalFull(t, alg, adj, u, incCfg, fullCfg)
+		}},
+		{"gaorexford", func(t *testing.T, incCfg, fullCfg engine.Config) {
+			alg, adj, u := grNet()
+			diffIncrementalFull(t, alg, adj, u, incCfg, fullCfg)
+		}},
+	}
+	configs := []struct {
+		name string
+		inc  engine.Config
+		full engine.Config
+	}{
+		{"sequential", engine.Config{Workers: 1}, engine.Config{Workers: 1, Incremental: engine.IncOff}},
+		{"sharded", engine.Config{Workers: 8, ShardColumns: 1}, engine.Config{Workers: 8, ShardColumns: 1, Incremental: engine.IncOff}},
+	}
+	for _, nt := range nets {
+		for _, cfg := range configs {
+			t.Run(nt.name+"/"+cfg.name, func(t *testing.T) {
+				nt.run(t, cfg.inc, cfg.full)
+			})
+		}
+	}
+}
+
+func diffIncrementalFull[R any](
+	t *testing.T, alg core.Algebra[R], adj *matrix.Adjacency[R], universe []R, incCfg, fullCfg engine.Config,
+) {
+	rng := rand.New(rand.NewSource(77))
+	n := adj.N
+	for trial := 0; trial < 6; trial++ {
+		start := matrix.RandomStateFrom(rng, n, universe)
+		var sched *schedule.Schedule
+		if trial%2 == 0 {
+			sched = schedule.Random(rng, n, 150, schedule.Options{MaxGap: 8, MaxStaleness: 7})
+		} else {
+			sched = schedule.Adversarial(rng, n, 150, 9, 6)
+		}
+		incCfg.HistoryWindow = engine.KeepAll
+		fullCfg.HistoryWindow = engine.KeepAll
+		inc := engine.New[R](alg, adj, incCfg).Run(start, sched)
+		full := engine.New[R](alg, adj, fullCfg).Run(start, sched)
+		for tt := 0; tt <= sched.T; tt++ {
+			identicalStates(t, fmt.Sprintf("trial %d, t=%d", trial, tt), inc.At(tt), full.At(tt))
+		}
+		si, sf := inc.Stats(), full.Stats()
+		if si.CellsComputed > sf.CellsComputed {
+			t.Fatalf("trial %d: incremental computed %d cells, full only %d — incrementality is not monotone",
+				trial, si.CellsComputed, sf.CellsComputed)
+		}
+		if si.RowsSkipped+si.RowsComputed != sf.RowsComputed {
+			t.Fatalf("trial %d: incremental skipped %d + computed %d rows, full computed %d — activations were lost",
+				trial, si.RowsSkipped, si.RowsComputed, sf.RowsComputed)
+		}
+	}
+}
+
+// TestIncrementalComputesNoMoreCells is the CI monotonicity gate: on the
+// benchmark convergence-tail workload the incremental path must never
+// evaluate more σ-cells than the full path, and on a genuine tail it must
+// evaluate far fewer (≥ 5× at n = 512, the headline acceptance number).
+func TestIncrementalComputesNoMoreCells(t *testing.T) {
+	n := 512
+	if testing.Short() {
+		n = 128
+	}
+	alg, adj := incrementalNet(n)
+	start := matrix.Identity[algebras.NatInf](alg, n)
+	src := engine.Hashed{N: n, T: 4 * n, Seed: 7, MaxGap: 16, MaxStaleness: 8}
+
+	full := engine.New[algebras.NatInf](alg, adj, engine.Config{Incremental: engine.IncOff}).Run(start, src)
+	inc := engine.New[algebras.NatInf](alg, adj, engine.Config{Termination: engine.TermOff}).Run(start, src)
+	incStop := engine.New[algebras.NatInf](alg, adj, engine.Config{}).Run(start, src)
+
+	identicalStates(t, "incremental vs full final", inc.Final(), full.Final())
+	identicalStates(t, "early-terminated vs full final", incStop.Final(), full.Final())
+
+	sf, si, ss := full.Stats(), inc.Stats(), incStop.Stats()
+	t.Logf("full: cells=%d rows=%d; incremental: cells=%d rows=%d skipped=%d; +early-exit: cells=%d steps=%d converged@%d",
+		sf.CellsComputed, sf.RowsComputed, si.CellsComputed, si.RowsComputed, si.RowsSkipped, ss.CellsComputed, ss.Steps, ss.ConvergedAt)
+	if si.CellsComputed > sf.CellsComputed {
+		t.Fatalf("incremental computed %d cells, full %d — gate violated", si.CellsComputed, sf.CellsComputed)
+	}
+	if sf.CellsComputed < 5*si.CellsComputed {
+		t.Errorf("convergence-tail reduction only %.1f×, want ≥ 5× (full %d, incremental %d)",
+			float64(sf.CellsComputed)/float64(si.CellsComputed), sf.CellsComputed, si.CellsComputed)
+	}
+	if _, ok := incStop.Converged(); !ok {
+		t.Error("fair hashed run over a long tail should certify convergence")
+	}
+}
+
+// TestEarlyTerminationRoundRobin is the acceptance scenario: a convergent
+// RoundRobin run at n = 512 with horizon 10n must return early with the
+// exact σ fixed point and a ConvergedAt far below the horizon.
+func TestEarlyTerminationRoundRobin(t *testing.T) {
+	n := 512
+	if testing.Short() {
+		n = 96
+	}
+	// A RoundRobin sweep propagates descending-index route chains only
+	// one hop per cycle, so convergence within 10 cycles needs a
+	// small-diameter graph: a sparse random graph with average degree 8.
+	alg := algebras.HopCount{Limit: algebras.NatInf(2 * n)}
+	g := topology.ErdosRenyi(rand.New(rand.NewSource(42)), n, 8/float64(n))
+	adj := topology.BuildUniform[algebras.NatInf](g, alg.AddEdge(1))
+	start := matrix.Identity[algebras.NatInf](alg, n)
+	want, _, ok := matrix.FixedPoint[algebras.NatInf](alg, adj, start, 4*n)
+	if !ok {
+		t.Fatal("σ must converge on the test net")
+	}
+	horizon := 10 * n
+	res := engine.Run[algebras.NatInf](alg, adj, start, engine.RoundRobin{N: n, T: horizon})
+	at, converged := res.Converged()
+	if !converged {
+		t.Fatalf("round-robin run did not certify convergence within T=%d", horizon)
+	}
+	if res.Stats().Steps >= horizon {
+		t.Fatalf("run used all %d steps; early termination did not fire", horizon)
+	}
+	if at > horizon/2 {
+		t.Errorf("ConvergedAt = %d, want ≪ horizon %d", at, horizon)
+	}
+	identicalStates(t, "round-robin limit", res.Final(), want)
+	t.Logf("n=%d: converged at t=%d, stopped at t=%d of %d (skipped %d rows, computed %d cells)",
+		n, at, res.Stats().Steps, horizon, res.Stats().RowsSkipped, res.Stats().CellsComputed)
+}
+
+// TestFixedPointIncrementalMatchesMatrix pins Engine.FixedPoint (now a
+// δ run under the Synchronous source with convergence certification) to
+// matrix.FixedPoint exactly: same state, same round count, same verdict —
+// including the degenerate already-fixed and did-not-converge cases.
+func TestFixedPointIncrementalMatchesMatrix(t *testing.T) {
+	alg, adj, u := hopNet()
+	rng := rand.New(rand.NewSource(3))
+	eng := engine.New[algebras.NatInf](alg, adj, engine.Config{})
+	for trial := 0; trial < 20; trial++ {
+		start := matrix.RandomStateFrom(rng, adj.N, u)
+		for _, maxRounds := range []int{0, 1, 2, 3, 50} {
+			wantX, wantR, wantOK := matrix.FixedPoint[algebras.NatInf](alg, adj, start, maxRounds)
+			gotX, gotR, gotOK := eng.FixedPoint(start, maxRounds)
+			if gotR != wantR || gotOK != wantOK {
+				t.Fatalf("trial %d maxRounds %d: got (rounds=%d, ok=%v) want (rounds=%d, ok=%v)",
+					trial, maxRounds, gotR, gotOK, wantR, wantOK)
+			}
+			identicalStates(t, fmt.Sprintf("trial %d maxRounds %d", trial, maxRounds), gotX, wantX)
+		}
+	}
+	// The already-fixed case: rounds must be 0, not 1.
+	fp, _, _ := matrix.FixedPoint[algebras.NatInf](alg, adj, matrix.Identity[algebras.NatInf](alg, adj.N), 100)
+	gotX, gotR, gotOK := eng.FixedPoint(fp, 10)
+	if !gotOK || gotR != 0 {
+		t.Fatalf("fixed start: got (rounds=%d, ok=%v), want (0, true)", gotR, gotOK)
+	}
+	identicalStates(t, "fixed start", gotX, fp)
+}
+
+// TestFixedPointDetectsUnderAnyConfig: Engine.FixedPoint must report the
+// fixed point whatever the engine's termination/history configuration —
+// configs that suppress run-level certification (TermOff, KeepAll) take
+// the explicit sweep instead of silently returning (maxRounds, false).
+func TestFixedPointDetectsUnderAnyConfig(t *testing.T) {
+	alg, adj, _ := hopNet()
+	start := matrix.Identity[algebras.NatInf](alg, adj.N)
+	wantX, wantR, wantOK := matrix.FixedPoint[algebras.NatInf](alg, adj, start, 1000)
+	if !wantOK {
+		t.Fatal("reference must converge")
+	}
+	for _, cfg := range []engine.Config{
+		{},
+		{Termination: engine.TermOff},
+		{HistoryWindow: engine.KeepAll},
+		{Incremental: engine.IncOff},
+		{Termination: engine.TermOff, Incremental: engine.IncOff},
+	} {
+		gotX, gotR, gotOK := engine.New[algebras.NatInf](alg, adj, cfg).FixedPoint(start, 1000)
+		if gotR != wantR || gotOK != wantOK {
+			t.Fatalf("config %+v: got (rounds=%d, ok=%v) want (%d, %v)", cfg, gotR, gotOK, wantR, wantOK)
+		}
+		identicalStates(t, fmt.Sprintf("config %+v", cfg), gotX, wantX)
+	}
+}
+
+// TestFairImpliesBoundedWindow: a Fair source without MaxLookback still
+// gets a bounded ring (window = FairPeriod) and keeps early termination.
+func TestFairImpliesBoundedWindow(t *testing.T) {
+	alg, adj, _ := hopNet()
+	start := matrix.Identity[algebras.NatInf](alg, adj.N)
+	src := fairOnly{rr: engine.RoundRobin{N: adj.N, T: 400}}
+	res := engine.Run[algebras.NatInf](alg, adj, start, src)
+	if _, ok := res.Converged(); !ok {
+		t.Fatal("fair-only source should still certify convergence")
+	}
+	if st := res.Stats(); st.Retained > src.FairPeriod()+1 {
+		t.Fatalf("retained %d states, want ≤ FairPeriod+1 = %d", st.Retained, src.FairPeriod()+1)
+	}
+	want, _, _ := matrix.FixedPoint[algebras.NatInf](alg, adj, start, 400)
+	identicalStates(t, "fair-only limit", res.Final(), want)
+}
+
+// fairOnly hides RoundRobin's MaxLookback (a named field, not an
+// embedding, so Bounded is not promoted) — only the Fair contract is
+// visible to the engine.
+type fairOnly struct{ rr engine.RoundRobin }
+
+func (f fairOnly) Nodes() int           { return f.rr.Nodes() }
+func (f fairOnly) Horizon() int         { return f.rr.Horizon() }
+func (f fairOnly) Active(t, i int) bool { return f.rr.Active(t, i) }
+func (f fairOnly) Beta(t, i, k int) int { return f.rr.Beta(t, i, k) }
+func (f fairOnly) FairPeriod() int      { return f.rr.FairPeriod() }

@@ -1,0 +1,41 @@
+package engine_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/algebras"
+	"repro/internal/engine"
+	"repro/internal/matrix"
+)
+
+// TestCloseDuringRun: Engine is documented as safe for concurrent use,
+// which includes one goroutine tearing the engine down while another is
+// mid-Run — the racing Run must degrade to inline execution and still
+// produce the right answer, never panic on the closed pool.
+func TestCloseDuringRun(t *testing.T) {
+	alg, adj := incrementalNet(192)
+	start := matrix.Identity[algebras.NatInf](alg, 192)
+	src := engine.Synchronous{N: 192, T: 6}
+	want := engine.Run[algebras.NatInf](alg, adj, start, src).Final()
+
+	for trial := 0; trial < 8; trial++ {
+		eng := engine.New[algebras.NatInf](alg, adj, engine.Config{Workers: 4})
+		var wg sync.WaitGroup
+		results := make([]*matrix.State[algebras.NatInf], 2)
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				results[g] = eng.Run(start, src).Final()
+			}(g)
+		}
+		eng.Close() // races the Runs above
+		wg.Wait()
+		for g, got := range results {
+			identicalStates(t, "run racing Close", got, want)
+			_ = g
+		}
+		eng.Close() // idempotent
+	}
+}

@@ -20,11 +20,19 @@ type Result[R any] struct {
 // Final returns δᵀ(X).
 func (r *Result[R]) Final() *matrix.State[R] { return r.final }
 
-// Horizon returns T.
+// Horizon returns the number of time steps evaluated: the source's T, or
+// fewer when the run terminated early at a certified fixed point.
 func (r *Result[R]) Horizon() int { return r.horizon }
 
 // Stats returns the run's counters.
 func (r *Result[R]) Stats() Stats { return r.stats }
+
+// Converged reports whether the run certified convergence and returned
+// early, and if so the time step after which the state never changed
+// (the asynchronous convergence time of Definition 6, made observable).
+func (r *Result[R]) Converged() (int, bool) {
+	return r.stats.ConvergedAt, r.stats.ConvergedAt >= 0
+}
 
 // Retained reports whether the run kept its full history, i.e. whether At
 // and History are available.

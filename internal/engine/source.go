@@ -28,6 +28,28 @@ type Bounded interface {
 	MaxLookback() int
 }
 
+// Fair is implemented by sources that promise a fairness period P =
+// FairPeriod(): in every window of P consecutive time steps each node
+// activates at least once, and β never reads data older than P steps
+// (β(t, i, k) ≥ t − P for every activation). These are the effective
+// bounded forms of the schedule axioms S1 and S3 over one period.
+//
+// Fairness is what makes early δ-termination sound: once the dirty
+// frontier has been quiet for a period and every node has re-verified its
+// row against post-quiescence data, no future activation can read data
+// from before the fixed point was reached, so the run can return its
+// limit instead of grinding to the horizon. The engine certifies the
+// fixed point exactly (per-node, from the actual β values it saw); the
+// period only bounds the detection latency and fences off stale rereads.
+//
+// Materialised *schedule.Schedule values deliberately do not implement
+// Fair — a recorded schedule makes no promise about what a longer run
+// would have done.
+type Fair interface {
+	// FairPeriod returns P ≥ 1.
+	FairPeriod() int
+}
+
 // Synchronous is the schedule that recovers σ (Section 3.1): every node
 // activates at every step and always reads the previous step's data. It
 // is the lazy, O(1)-memory counterpart of schedule.Synchronous.
@@ -47,6 +69,10 @@ func (s Synchronous) Beta(t, i, k int) int { return t - 1 }
 
 // MaxLookback implements Bounded: the engine needs only one past state.
 func (s Synchronous) MaxLookback() int { return 1 }
+
+// FairPeriod implements Fair: every node activates every step and reads
+// the immediately preceding state.
+func (s Synchronous) FairPeriod() int { return 1 }
 
 // Hashed is a lazy pseudo-random schedule: activations and β values are
 // derived from (Seed, t, i, k) by integer hashing, so a horizon of any
@@ -119,6 +145,17 @@ func (h Hashed) Beta(t, i, k int) int {
 // MaxLookback implements Bounded.
 func (h Hashed) MaxLookback() int { return h.staleness() }
 
+// FairPeriod implements Fair: the forced activation every MaxGap steps
+// bounds node silence, and β never reaches further back than
+// MaxStaleness.
+func (h Hashed) FairPeriod() int {
+	p := h.gap()
+	if s := h.staleness(); s > p {
+		p = s
+	}
+	return p
+}
+
 // RoundRobin activates exactly one node per step, cycling 0..N−1, always
 // reading the previous step's data — the lazy counterpart of
 // schedule.RoundRobin.
@@ -138,3 +175,7 @@ func (s RoundRobin) Beta(t, i, k int) int { return t - 1 }
 
 // MaxLookback implements Bounded.
 func (s RoundRobin) MaxLookback() int { return 1 }
+
+// FairPeriod implements Fair: each node activates exactly once per cycle
+// of N steps, always reading the previous step's data.
+func (s RoundRobin) FairPeriod() int { return s.N }

@@ -1,0 +1,133 @@
+package engine_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/algebras"
+	"repro/internal/engine"
+	"repro/internal/matrix"
+	"repro/internal/schedule"
+)
+
+// The schedule-source laws: lazy sources must be pure functions of their
+// parameters, Fair sources must honour the contract their FairPeriod
+// advertises, and requesting early termination from a source with no
+// fairness promise must fail loudly, not silently run to the horizon.
+
+// TestHashedDeterministic: Hashed is a pure function of (Seed, t, i, k) —
+// two values with equal parameters must agree on every activation and β,
+// and drive the engine to bit-identical results.
+func TestHashedDeterministic(t *testing.T) {
+	a := engine.Hashed{N: 16, T: 200, Seed: 99, MaxGap: 12, MaxStaleness: 6}
+	b := engine.Hashed{N: 16, T: 200, Seed: 99, MaxGap: 12, MaxStaleness: 6}
+	for tt := 1; tt <= a.T; tt++ {
+		for i := 0; i < a.N; i++ {
+			if a.Active(tt, i) != b.Active(tt, i) {
+				t.Fatalf("Active(%d, %d) differs between identical sources", tt, i)
+			}
+			for k := 0; k < a.N; k++ {
+				if a.Beta(tt, i, k) != b.Beta(tt, i, k) {
+					t.Fatalf("Beta(%d, %d, %d) differs between identical sources", tt, i, k)
+				}
+			}
+		}
+	}
+	alg, adj, _ := hopNet()
+	src := engine.Hashed{N: adj.N, T: 300, Seed: 5, MaxGap: 8, MaxStaleness: 4}
+	r1 := engine.Run[algebras.NatInf](alg, adj, matrix.Identity[algebras.NatInf](alg, adj.N), src)
+	r2 := engine.Run[algebras.NatInf](alg, adj, matrix.Identity[algebras.NatInf](alg, adj.N), src)
+	identicalStates(t, "hashed re-run", r1.Final(), r2.Final())
+	if s1, s2 := r1.Stats(), r2.Stats(); s1 != s2 {
+		t.Fatalf("hashed re-run stats differ: %+v vs %+v", s1, s2)
+	}
+}
+
+// checkFairContract verifies a Fair source empirically over its horizon:
+// every node activates in every window of P steps, and no activation
+// reads data older than P steps.
+func checkFairContract(t *testing.T, name string, src engine.Source) {
+	t.Helper()
+	f, ok := src.(engine.Fair)
+	if !ok {
+		t.Fatalf("%s: expected a Fair source", name)
+	}
+	p := f.FairPeriod()
+	if p < 1 {
+		t.Fatalf("%s: FairPeriod() = %d, want ≥ 1", name, p)
+	}
+	n, T := src.Nodes(), src.Horizon()
+	last := make([]int, n) // last activation, 0 = the initial state
+	for tt := 1; tt <= T; tt++ {
+		for i := 0; i < n; i++ {
+			if !src.Active(tt, i) {
+				if tt-last[i] > p {
+					t.Fatalf("%s: node %d silent for %d > P=%d steps at t=%d", name, i, tt-last[i], p, tt)
+				}
+				continue
+			}
+			last[i] = tt
+			for k := 0; k < n; k++ {
+				b := src.Beta(tt, i, k)
+				if b < 0 || b >= tt {
+					t.Fatalf("%s: β(%d,%d,%d)=%d violates S2", name, tt, i, k, b)
+				}
+				if tt-b > p {
+					t.Fatalf("%s: β(%d,%d,%d)=%d is %d > P=%d steps stale", name, tt, i, k, b, tt-b, p)
+				}
+			}
+		}
+	}
+}
+
+// TestFairContracts: every lazy source claiming Fair must satisfy the
+// contract on sampled horizons, including RoundRobin's exact period N.
+func TestFairContracts(t *testing.T) {
+	checkFairContract(t, "synchronous", engine.Synchronous{N: 7, T: 60})
+	checkFairContract(t, "round-robin", engine.RoundRobin{N: 7, T: 120})
+	if p := (engine.RoundRobin{N: 7, T: 120}).FairPeriod(); p != 7 {
+		t.Fatalf("RoundRobin{N: 7}.FairPeriod() = %d, want 7", p)
+	}
+	for seed := uint64(0); seed < 4; seed++ {
+		checkFairContract(t, "hashed", engine.Hashed{N: 9, T: 400, Seed: seed, MaxGap: 11, MaxStaleness: 5})
+	}
+	// The materialised round-robin schedule records the same fairness its
+	// lazy counterpart promises.
+	if p := schedule.RoundRobin(7, 120).Fairness(); p != 7 {
+		t.Fatalf("schedule.RoundRobin(7).Fairness() = %d, want 7", p)
+	}
+}
+
+// TestTermRequireNonFairPanics: a materialised schedule makes no fairness
+// promise, so demanding early termination from one must panic with a
+// message that names the missing contract.
+func TestTermRequireNonFairPanics(t *testing.T) {
+	alg, adj, _ := hopNet()
+	sched := schedule.Random(rand.New(rand.NewSource(1)), adj.N, 50, schedule.Options{MaxGap: 8, MaxStaleness: 4})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("TermRequire with a non-Fair source must panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "Fair") {
+			t.Fatalf("panic message %v does not name the Fair contract", r)
+		}
+	}()
+	engine.New[algebras.NatInf](alg, adj, engine.Config{Termination: engine.TermRequire}).
+		Run(matrix.Identity[algebras.NatInf](alg, adj.N), sched)
+}
+
+// TestTermRequireNeedsIncremental: early termination rides on the dirty
+// frontier, so requiring it with incremental evaluation disabled is a
+// configuration error.
+func TestTermRequireNeedsIncremental(t *testing.T) {
+	alg, adj, _ := hopNet()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TermRequire with IncOff must panic")
+		}
+	}()
+	engine.New[algebras.NatInf](alg, adj, engine.Config{Incremental: engine.IncOff, Termination: engine.TermRequire}).
+		Run(matrix.Identity[algebras.NatInf](alg, adj.N), engine.Synchronous{N: adj.N, T: 10})
+}

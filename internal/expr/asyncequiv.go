@@ -34,11 +34,18 @@ type AsyncEquivalenceResult struct {
 	// bit-identical finals to the reference clone-everything evaluator on
 	// the same schedules.
 	EngineOK bool
+	// IncrementalOK reports that the change-driven engine and the full
+	// engine agree cell for cell on the same schedules.
+	IncrementalOK bool
+	// EarlyStopOK reports that a fair run cut short at its certified
+	// fixed point returns exactly the state the full-horizon run reaches.
+	EarlyStopOK bool
 }
 
 // OK reports overall success.
 func (r AsyncEquivalenceResult) OK() bool {
-	return r.DeltaOK && r.SimulatorOK && r.LiveOK && r.SigmaRecovered && r.ReplayOK && r.EngineOK
+	return r.DeltaOK && r.SimulatorOK && r.LiveOK && r.SigmaRecovered && r.ReplayOK &&
+		r.EngineOK && r.IncrementalOK && r.EarlyStopOK
 }
 
 // AsyncEquivalence is experiment E12 (Section 3): the three asynchronous
@@ -52,7 +59,10 @@ func AsyncEquivalence(w io.Writer, trials int) AsyncEquivalenceResult {
 	alg, adj := ripRing()
 	want, _, _ := matrix.FixedPoint[algebras.NatInf](alg, adj, matrix.Identity[algebras.NatInf](alg, 4), 100)
 	rng := rand.New(rand.NewSource(1201))
-	res := AsyncEquivalenceResult{DeltaOK: true, SimulatorOK: true, LiveOK: true, SigmaRecovered: true, EngineOK: true}
+	res := AsyncEquivalenceResult{
+		DeltaOK: true, SimulatorOK: true, LiveOK: true, SigmaRecovered: true,
+		EngineOK: true, IncrementalOK: true, EarlyStopOK: true,
+	}
 
 	// δ recovers σ under the synchronous schedule.
 	sync := schedule.Synchronous(4, 10)
@@ -74,11 +84,31 @@ func AsyncEquivalence(w io.Writer, trials int) AsyncEquivalenceResult {
 		}
 
 		// The memory-bounded sharded engine must agree with the reference
-		// evaluator cell for cell, not merely reach the same limit.
+		// evaluator cell for cell, not merely reach the same limit — and
+		// the change-driven path must agree with the full path while
+		// provably doing no more work.
 		ref := async.RunReference[algebras.NatInf](alg, adj, start, sched)
 		bounded := engine.New[algebras.NatInf](alg, adj, engine.Config{HistoryWindow: 10}).Run(start, sched)
 		if !bounded.Final().Equal(alg, ref[len(ref)-1]) {
 			res.EngineOK = false
+		}
+		full := engine.New[algebras.NatInf](alg, adj,
+			engine.Config{HistoryWindow: 10, Incremental: engine.IncOff}).Run(start, sched)
+		if !bounded.Final().Equal(alg, full.Final()) ||
+			bounded.Stats().CellsComputed > full.Stats().CellsComputed {
+			res.IncrementalOK = false
+		}
+
+		// Early termination: a fair lazy schedule stopped at its certified
+		// fixed point must land exactly where the full-horizon run lands.
+		src := engine.Hashed{N: 4, T: 400, Seed: uint64(trial), MaxGap: 8, MaxStaleness: 5}
+		stopped := engine.Run[algebras.NatInf](alg, adj, start, src)
+		horizon := engine.New[algebras.NatInf](alg, adj, engine.Config{Termination: engine.TermOff}).Run(start, src)
+		if _, ok := stopped.Converged(); !ok ||
+			stopped.Stats().Steps >= horizon.Stats().Steps ||
+			!stopped.Final().Equal(alg, horizon.Final()) ||
+			!stopped.Final().Equal(alg, want) {
+			res.EarlyStopOK = false
 		}
 
 		out := simulate.Run[algebras.NatInf](alg, adj, start, simulate.Config{
@@ -127,6 +157,8 @@ func AsyncEquivalence(w io.Writer, trials int) AsyncEquivalenceResult {
 	fmt.Fprintf(tw, "δ under synchronous schedule ≡ σ\t%s\n", pass(res.SigmaRecovered))
 	fmt.Fprintf(tw, "δ under random schedules (%d trials)\t%s\n", trials, pass(res.DeltaOK))
 	fmt.Fprintf(tw, "bounded-window sharded engine ≡ reference evaluator\t%s\n", pass(res.EngineOK))
+	fmt.Fprintf(tw, "incremental (change-driven) engine ≡ full engine, fewer cells\t%s\n", pass(res.IncrementalOK))
+	fmt.Fprintf(tw, "fair run stopped at certified fixed point ≡ full horizon\t%s\n", pass(res.EarlyStopOK))
 	fmt.Fprintf(tw, "event simulator, loss+dup+reorder (%d trials)\t%s\n", trials, pass(res.SimulatorOK))
 	fmt.Fprintf(tw, "δ replay of schedules extracted from simulator runs\t%s\n", pass(res.ReplayOK))
 	fmt.Fprintf(tw, "live goroutine engine over faulty transport\t%s\n", pass(res.LiveOK))

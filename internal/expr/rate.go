@@ -44,6 +44,12 @@ type RateResult struct {
 // distributive algebras; the paper's companion work proves a tight O(n²)
 // for increasing path algebras. We measure both families — from clean and
 // from arbitrary states — and verify the bounds.
+//
+// Every sweep runs through Engine.FixedPoint, which since the incremental
+// engine is a δ run under the Synchronous source with convergence
+// certification: each round recomputes only the cells whose inputs
+// changed and the fixed-point check costs nothing extra, so the sweep's
+// cost tracks the routes that actually move rather than rounds × n².
 func ConvergenceRate(w io.Writer, sizes []int, trialsPerSize int) RateResult {
 	section(w, "E10 (§8.1)", "rounds to synchronous convergence vs n")
 	res := RateResult{DistributiveLinear: true, IncreasingQuadratic: true}

@@ -1,0 +1,90 @@
+package matrix
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Bitset is a fixed-width set of destination columns, the unit of the
+// engine's dirty tracking: one bit per destination j records whether a
+// node's route to j changed when the node last recomputed its row.
+type Bitset struct {
+	n     int
+	words []uint64
+}
+
+// NewBitset allocates an empty set over columns [0, n).
+func NewBitset(n int) *Bitset {
+	return &Bitset{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// NewBitsets allocates count empty sets over columns [0, n) backed by a
+// single word slab — two allocations total, however many sets. The
+// engine's per-node and per-worker dirty sets come from here.
+func NewBitsets(count, n int) []Bitset {
+	wpr := (n + 63) / 64
+	slab := make([]uint64, count*wpr)
+	sets := make([]Bitset, count)
+	for i := range sets {
+		sets[i] = Bitset{n: n, words: slab[i*wpr : (i+1)*wpr : (i+1)*wpr]}
+	}
+	return sets
+}
+
+// Set adds column j to the set.
+func (b *Bitset) Set(j int) { b.words[j>>6] |= 1 << (j & 63) }
+
+// Get reports whether column j is in the set.
+func (b *Bitset) Get(j int) bool { return b.words[j>>6]&(1<<(j&63)) != 0 }
+
+// Clear empties the set.
+func (b *Bitset) Clear() {
+	for w := range b.words {
+		b.words[w] = 0
+	}
+}
+
+// Empty reports whether no column is set.
+func (b *Bitset) Empty() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set columns.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// StoreWord overwrites word w (columns [64w, 64w+64)) with mask. It is
+// the bulk fill for single-owner bitsets, e.g. a worker's dirty-column
+// scratch.
+func (b *Bitset) StoreWord(w int, mask uint64) { b.words[w] = mask }
+
+// OrWord atomically ORs mask into word w (columns [64w, 64w+64)). It is
+// the merge point for column-sharded kernels: shards of one row flush
+// their changed bits into a shared Bitset, and a word may straddle two
+// shards' spans, so the OR must be atomic.
+func (b *Bitset) OrWord(w int, mask uint64) {
+	if mask != 0 {
+		atomic.OrUint64(&b.words[w], mask)
+	}
+}
+
+// ForEach calls fn for every set column in ascending order.
+func (b *Bitset) ForEach(fn func(j int)) {
+	for wi, w := range b.words {
+		base := wi << 6
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package matrix
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 130, 512} {
+		b := NewBitset(n)
+		if !b.Empty() || b.Count() != 0 {
+			t.Fatalf("n=%d: new bitset not empty", n)
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		want := map[int]bool{}
+		for k := 0; k < n/2+1; k++ {
+			j := rng.Intn(n)
+			want[j] = true
+			b.Set(j)
+		}
+		if b.Count() != len(want) {
+			t.Fatalf("n=%d: count %d, want %d", n, b.Count(), len(want))
+		}
+		got := map[int]bool{}
+		prev := -1
+		b.ForEach(func(j int) {
+			if j <= prev {
+				t.Fatalf("n=%d: ForEach not ascending (%d after %d)", n, j, prev)
+			}
+			prev = j
+			got[j] = true
+		})
+		for j := 0; j < n; j++ {
+			if b.Get(j) != want[j] || got[j] != want[j] {
+				t.Fatalf("n=%d: bit %d mismatch", n, j)
+			}
+		}
+		b.Clear()
+		if !b.Empty() {
+			t.Fatalf("n=%d: clear left bits behind", n)
+		}
+	}
+}
+
+func TestBitsetOrWordConcurrent(t *testing.T) {
+	// OrWord is the merge point for column shards of one row; concurrent
+	// ORs into the same word must not lose bits.
+	const n = 256
+	b := NewBitset(n)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := g; j < n; j += 8 {
+				b.OrWord(j>>6, 1<<(j&63))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if b.Count() != n {
+		t.Fatalf("lost bits under concurrent OrWord: %d of %d", b.Count(), n)
+	}
+}

@@ -1,6 +1,10 @@
 package matrix
 
-import "repro/internal/core"
+import (
+	"math/bits"
+
+	"repro/internal/core"
+)
 
 // SigmaCell computes one element of σ(X) per Equation 5:
 //
@@ -76,6 +80,134 @@ func SigmaSpanInto[R any](alg core.Algebra[R], a *Adjacency[R], i int, tabs [][]
 	}
 }
 
+// SigmaSpanIntoChanged is the change-tracking variant of SigmaSpanInto
+// that powers the engine's incremental evaluation. It computes node i's
+// σ-row over the span [j0, j1) with two additions:
+//
+//   - cols, when non-nil, restricts recomputation to the destination
+//     columns it contains; every other column of the span is copied from
+//     prev (the row's previous value), so work is proportional to the
+//     columns whose inputs actually changed.
+//   - every recomputed column is compared against prev as it is written,
+//     and columns whose value differs (per alg.Equal) are recorded in
+//     changed — the per-node dirty set downstream activations consume.
+//     Because column shards of one row share changed, the flush uses the
+//     Bitset's atomic word OR.
+//
+// The fold order per cell is identical to SigmaSpanInto (ascending k), so
+// recomputed cells are bit-identical to the full kernel's. It returns the
+// number of columns recomputed.
+//
+// Correctness of the copy-for-unchanged contract requires alg.Equal to
+// coincide with structural equality on values the kernel itself produces
+// (kernel outputs are canonical: Choice and the edge functions normalise
+// as they go), which holds for every algebra in this repository.
+func SigmaSpanIntoChanged[R any](
+	alg core.Algebra[R], a *Adjacency[R], i int, tabs [][]R,
+	prev, dst []R, j0, j1 int, cols, changed *Bitset,
+) int {
+	if cols == nil {
+		SigmaSpanInto(alg, a, i, tabs, dst, j0, j1)
+		recordChanged(alg, prev, dst, j0, j1, nil, changed)
+		return j1 - j0
+	}
+	copy(dst[j0:j1], prev[j0:j1])
+	inv := alg.Invalid()
+	computed := 0
+	forSpan(cols, j0, j1, func(j int) {
+		dst[j] = inv
+		computed++
+	})
+	w0, w1 := j0>>6, (j1-1)>>6
+	for k := 0; k < a.N; k++ {
+		if k == i {
+			continue
+		}
+		e, ok := a.Edge(i, k)
+		if !ok {
+			continue
+		}
+		tk := tabs[k]
+		// The fold is the hot loop: iterate the dirty words inline rather
+		// than through a per-bit callback.
+		for wi := w0; wi <= w1; wi++ {
+			w := cols.spanWord(wi, j0, j1)
+			base := wi << 6
+			for w != 0 {
+				j := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				if j != i {
+					dst[j] = alg.Choice(dst[j], e.Apply(tk[j]))
+				}
+			}
+		}
+	}
+	if j0 <= i && i < j1 && cols.Get(i) {
+		dst[i] = alg.Trivial()
+	}
+	recordChanged(alg, prev, dst, j0, j1, cols, changed)
+	return computed
+}
+
+// recordChanged flushes the columns of [j0, j1) (restricted to cols when
+// non-nil) where prev and dst differ into changed, one atomic OR per word.
+func recordChanged[R any](alg core.Algebra[R], prev, dst []R, j0, j1 int, cols, changed *Bitset) {
+	var mask uint64
+	word := -1
+	flush := func() {
+		if word >= 0 {
+			changed.OrWord(word, mask)
+		}
+	}
+	note := func(j int) {
+		if alg.Equal(prev[j], dst[j]) {
+			return
+		}
+		if w := j >> 6; w != word {
+			flush()
+			word, mask = w, 0
+		}
+		mask |= 1 << (j & 63)
+	}
+	if cols == nil {
+		for j := j0; j < j1; j++ {
+			note(j)
+		}
+	} else {
+		forSpan(cols, j0, j1, note)
+	}
+	flush()
+}
+
+// spanWord returns word wi masked to the columns within [j0, j1).
+func (b *Bitset) spanWord(wi, j0, j1 int) uint64 {
+	w := b.words[wi]
+	if wi == j0>>6 {
+		w &= ^uint64(0) << (j0 & 63)
+	}
+	if wi == (j1-1)>>6 {
+		if r := j1 & 63; r != 0 {
+			w &= (1 << r) - 1
+		}
+	}
+	return w
+}
+
+// forSpan calls fn for every set column of b within [j0, j1), ascending.
+func forSpan(b *Bitset, j0, j1 int, fn func(j int)) {
+	if j0 >= j1 {
+		return
+	}
+	for wi := j0 >> 6; wi <= (j1-1)>>6; wi++ {
+		w := b.spanWord(wi, j0, j1)
+		base := wi << 6
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
 // SigmaRow recomputes node i's whole routing table from the neighbour
 // tables recorded in x. It is the per-node update that both the
 // asynchronous evaluator and the message-passing engines share with σ.
@@ -85,12 +217,25 @@ func SigmaRow[R any](alg core.Algebra[R], a *Adjacency[R], x *State[R], i int) [
 
 // Sigma applies one synchronous Bellman-Ford round: σ(X) = A(X) ⊕ I.
 func Sigma[R any](alg core.Algebra[R], a *Adjacency[R], x *State[R]) *State[R] {
-	out := NewState(x.N, alg.Invalid())
+	out := newStateUninit[R](x.N)
+	SigmaInto(alg, a, x, out)
+	return out
+}
+
+// SigmaInto computes σ(x) into out, which must be a distinct state of the
+// same dimension. Every cell of out is overwritten, so out may hold stale
+// data — the double-buffer form FixedPoint and Orbit iterate with.
+func SigmaInto[R any](alg core.Algebra[R], a *Adjacency[R], x, out *State[R]) {
 	tabs := x.RowViews()
 	for i := 0; i < x.N; i++ {
 		SigmaRowInto(alg, a, i, tabs, out.RowView(i))
 	}
-	return out
+}
+
+// newStateUninit allocates a state without the fill pass of NewState, for
+// callers that overwrite every cell immediately.
+func newStateUninit[R any](n int) *State[R] {
+	return &State[R]{N: n, cells: make([]R, n*n)}
 }
 
 // IsStable reports whether x is a fixed point of σ (Definition 4).
@@ -103,13 +248,16 @@ func IsStable[R any](alg core.Algebra[R], a *Adjacency[R], x *State[R]) bool {
 // rounds applied, and whether a fixed point was reached (i.e. whether σ
 // converged synchronously in the sense of Section 2.3).
 func FixedPoint[R any](alg core.Algebra[R], a *Adjacency[R], start *State[R], maxRounds int) (*State[R], int, bool) {
+	// Two buffers swapped each round — the loop allocates nothing, where
+	// it previously built a fresh O(n²) state per round.
 	x := start.Clone()
+	next := newStateUninit[R](x.N)
 	for round := 0; round < maxRounds; round++ {
-		next := Sigma(alg, a, x)
+		SigmaInto(alg, a, x, next)
 		if next.Equal(alg, x) {
 			return x, round, true
 		}
-		x = next
+		x, next = next, x
 	}
 	return x, maxRounds, false
 }
@@ -119,11 +267,16 @@ func FixedPoint[R any](alg core.Algebra[R], a *Adjacency[R], start *State[R], ma
 // reached. The ultrametric experiments walk orbits to exhibit the strictly
 // decreasing distance chains of Lemma 2.
 func Orbit[R any](alg core.Algebra[R], a *Adjacency[R], start *State[R], maxLen int) []*State[R] {
+	// Every orbit element is returned, so each needs its own storage; the
+	// avoidable churn is Sigma's fill-then-overwrite pass, skipped here by
+	// computing straight into uninitialised states.
 	orbit := []*State[R]{start.Clone()}
 	for len(orbit) < maxLen {
-		next := Sigma(alg, a, orbit[len(orbit)-1])
+		prev := orbit[len(orbit)-1]
+		next := newStateUninit[R](prev.N)
+		SigmaInto(alg, a, prev, next)
 		orbit = append(orbit, next)
-		if next.Equal(alg, orbit[len(orbit)-2]) {
+		if next.Equal(alg, prev) {
 			break
 		}
 	}

@@ -80,6 +80,39 @@ func (s *Schedule) MaxLookback() int {
 	return max
 }
 
+// Fairness returns the recorded schedule's empirical fairness period:
+// the smallest P such that every node activates at least once in every
+// window of P consecutive steps and no activation reads data more than P
+// steps stale — the bound a lazy source would advertise via the engine's
+// Fair contract. A recorded schedule still makes no promise beyond its
+// horizon, which is why *Schedule deliberately does not implement Fair
+// itself; Fairness exists to compare recordings against their generators'
+// declared periods.
+func (s *Schedule) Fairness() int {
+	p := 1
+	for i := 0; i < s.N; i++ {
+		last := 0
+		for t := 1; t <= s.T; t++ {
+			if !s.alpha[t][i] {
+				continue
+			}
+			if t-last > p {
+				p = t - last
+			}
+			last = t
+			for _, b := range s.beta[t][i] {
+				if t-b > p {
+					p = t - b
+				}
+			}
+		}
+		if s.T-last > p {
+			p = s.T - last
+		}
+	}
+	return p
+}
+
 // Active reports whether node i ∈ α(t).
 func (s *Schedule) Active(t, i int) bool { return s.alpha[t][i] }
 

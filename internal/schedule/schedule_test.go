@@ -121,3 +121,26 @@ func TestRandomScheduleExhibitsDuplication(t *testing.T) {
 		t.Error("random schedule never duplicated")
 	}
 }
+
+func TestFairnessMatchesValidate(t *testing.T) {
+	// Fairness returns the tightest (gap, staleness) bound the recording
+	// satisfies: Validate must accept it and reject anything tighter.
+	if p := Synchronous(5, 40).Fairness(); p != 1 {
+		t.Errorf("synchronous fairness = %d, want 1", p)
+	}
+	if p := RoundRobin(5, 40).Fairness(); p != 5 {
+		t.Errorf("round-robin fairness = %d, want 5", p)
+	}
+	rng := rand.New(rand.NewSource(11))
+	s := Random(rng, 6, 300, Options{MaxGap: 9, MaxStaleness: 7})
+	p := s.Fairness()
+	if err := s.Validate(p, p); err != nil {
+		t.Fatalf("schedule rejects its own fairness period %d: %v", p, err)
+	}
+	if err := s.Validate(p-1, p-1); err == nil {
+		t.Fatalf("fairness period %d is not tight; period−1 also validates", p)
+	}
+	if p > 9 {
+		t.Errorf("fairness %d exceeds the generator's MaxGap/MaxStaleness envelope", p)
+	}
+}
