@@ -1,0 +1,82 @@
+// The benchmark allocation gate: CI runs this test (opted in via
+// BENCH_GATE=1) to assert that the steady-state allocations of the E5
+// engine-convergence benchmark do not regress against the committed
+// baseline in BENCH_pr3.json. It complements the bench smoke step, which
+// only checks the suite still runs.
+package repro_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/algebras"
+	"repro/internal/engine"
+	"repro/internal/matrix"
+)
+
+// benchBaseline mirrors the committed BENCH_*.json layout.
+type benchBaseline struct {
+	Results []struct {
+		Name        string  `json:"name"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+		// WarmAllocsPerOp is the steady-state (pooled-scratch) figure the
+		// gate compares against; allocs_per_op averages the cold first
+		// iteration in and would make the gate an order of magnitude
+		// looser.
+		WarmAllocsPerOp float64 `json:"warm_allocs_per_op"`
+	} `json:"results"`
+}
+
+// gateSlack is how far above the committed warm allocs/op the gate
+// tolerates: scheduling and GC timing jitter move the number a little, a
+// regression of the pooled hot path (back towards allocation-per-run)
+// moves it by an order of magnitude.
+const gateSlack = 3.0
+
+// TestE5EngineAllocGate measures steady-state (warm-pool) allocations of
+// the E5 scenario and fails if they exceed gateSlack × the committed
+// BENCH_pr3.json value. Opt-in via BENCH_GATE=1 — the measurement costs
+// a few E5 runs, which is CI-step material, not unit-test material.
+func TestE5EngineAllocGate(t *testing.T) {
+	if os.Getenv("BENCH_GATE") != "1" {
+		t.Skip("set BENCH_GATE=1 to run the benchmark allocation gate")
+	}
+	raw, err := os.ReadFile("BENCH_pr3.json")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("parsing committed baseline: %v", err)
+	}
+	budget := -1.0
+	for _, r := range base.Results {
+		if r.Name == "BenchmarkE5EngineConvergence" {
+			budget = r.WarmAllocsPerOp
+		}
+	}
+	if budget <= 0 {
+		t.Fatal("BENCH_pr3.json has no BenchmarkE5EngineConvergence warm_allocs_per_op entry")
+	}
+
+	alg, adj, start, src := e5Scenario()
+	eng := engine.New[algebras.NatInf](alg, adj, engine.Config{})
+	defer eng.Close()
+	// AllocsPerRun performs one warm-up call first, which populates the
+	// engine's pooled scratch; the measured runs are the steady state.
+	avg := testing.AllocsPerRun(2, func() {
+		res := eng.Run(start, src)
+		if _, ok := res.Converged(); !ok {
+			t.Fatal("E5 engine run did not certify convergence")
+		}
+		if !matrix.IsStable[algebras.NatInf](alg, adj, res.Final()) {
+			t.Fatal("E5 engine limit is not σ-stable")
+		}
+	})
+	t.Logf("steady-state allocs/op = %.0f, committed baseline = %.0f (gate = %.0f)", avg, budget, budget*gateSlack)
+	if avg > budget*gateSlack {
+		t.Fatalf("E5 allocs/op regressed: %.0f > %.0f (%.1f × committed %.0f)",
+			avg, budget*gateSlack, gateSlack, budget)
+	}
+}

@@ -112,13 +112,11 @@ func BenchmarkConvergenceRate(b *testing.B) {
 	}
 }
 
-// BenchmarkE5EngineConvergence is the E5 scenario at production scale on
-// the hot path: distance-vector absolute convergence at n = 512, run
-// through the incremental δ engine over a fair pseudo-random schedule.
-// The run must certify convergence (early termination) and land on a
-// σ-stable state; cells/op exposes the change-driven engine's
-// output-sensitive cost on the paper-artefact harness.
-func BenchmarkE5EngineConvergence(b *testing.B) {
+// e5Scenario builds the E5 production-scale instance shared by
+// BenchmarkE5EngineConvergence and the CI allocation gate
+// (TestE5EngineAllocGate): distance-vector absolute convergence at
+// n = 512 over a fair pseudo-random schedule.
+func e5Scenario() (algebras.HopCount, *matrix.Adjacency[algebras.NatInf], *matrix.State[algebras.NatInf], engine.Hashed) {
 	const n = 512
 	alg := algebras.HopCount{Limit: algebras.NatInf(2 * n)}
 	g := topology.Ring(n)
@@ -131,6 +129,19 @@ func BenchmarkE5EngineConvergence(b *testing.B) {
 	}
 	start := matrix.Identity[algebras.NatInf](alg, n)
 	src := engine.Hashed{N: n, T: 10 * n, Seed: 5, MaxGap: 16, MaxStaleness: 8}
+	return alg, adj, start, src
+}
+
+// BenchmarkE5EngineConvergence is the E5 scenario at production scale on
+// the hot path: distance-vector absolute convergence at n = 512, run
+// through the incremental δ engine over a fair pseudo-random schedule.
+// The run must certify convergence (early termination) and land on a
+// σ-stable state; cells/op exposes the change-driven engine's
+// output-sensitive cost on the paper-artefact harness. Allocations
+// amortise towards zero with b.N: the first run populates the engine's
+// pooled scratch and subsequent runs reuse it.
+func BenchmarkE5EngineConvergence(b *testing.B) {
+	alg, adj, start, src := e5Scenario()
 	eng := engine.New[algebras.NatInf](alg, adj, engine.Config{})
 	defer eng.Close()
 	b.ReportAllocs()
@@ -225,4 +236,75 @@ func BenchmarkPathVectorSigma(b *testing.B) {
 			b.Fatal("fixed point drifted")
 		}
 	}
+}
+
+// BenchmarkPathVectorSigmaInterned is BenchmarkPathVectorSigma over the
+// hash-consed carrier: every Extend is a table probe, every Equal an id
+// compare, so the round allocates nothing once the table is warm.
+func BenchmarkPathVectorSigmaInterned(b *testing.B) {
+	base := algebras.ShortestPaths{}
+	alg := pathalg.NewInterned[algebras.NatInf](base, nil)
+	g := topology.Ring(12)
+	baseAdj := topology.BuildUniform[algebras.NatInf](g, base.AddEdge(1))
+	adj := pathalg.LiftAdjacencyInterned(alg, baseAdj)
+	type R = pathalg.IRoute[algebras.NatInf]
+	x, _, _ := matrix.FixedPoint[R](alg, adj, matrix.Identity[R](alg, g.N), 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y := matrix.Sigma[R](alg, adj, x)
+		if !y.Equal(alg, x) {
+			b.Fatal("fixed point drifted")
+		}
+	}
+}
+
+// BenchmarkPVEngineConvergence is the path-vector convergence scenario on
+// the δ engine at n = 64, A/B over the route representation: "reference"
+// carries []Arc paths, "interned" carries PathIDs (with the engine's
+// per-edge memo caches engaged). Same schedule, bit-equivalent limits;
+// the delta is the hash-consing win on a path-aware algebra.
+func BenchmarkPVEngineConvergence(b *testing.B) {
+	const n = 64
+	base := algebras.ShortestPaths{}
+	g := topology.Ring(n)
+	baseAdj := topology.BuildUniform[algebras.NatInf](g, base.AddEdge(1))
+	for i := 0; i < n; i += 8 {
+		if j := (i + n/2) % n; j != i {
+			baseAdj.SetEdge(i, j, base.AddEdge(2))
+			baseAdj.SetEdge(j, i, base.AddEdge(2))
+		}
+	}
+	src := engine.Hashed{N: n, T: 10 * n, Seed: 5, MaxGap: 16, MaxStaleness: 8}
+
+	b.Run("reference", func(b *testing.B) {
+		alg := pathalg.New[algebras.NatInf](base)
+		adj := pathalg.LiftAdjacency(alg, baseAdj)
+		type R = pathalg.Route[algebras.NatInf]
+		start := matrix.Identity[R](alg, n)
+		eng := engine.New[R](alg, adj, engine.Config{})
+		defer eng.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := eng.Run(start, src).Converged(); !ok {
+				b.Fatal("reference run did not certify convergence")
+			}
+		}
+	})
+	b.Run("interned", func(b *testing.B) {
+		alg := pathalg.NewInterned[algebras.NatInf](base, nil)
+		adj := pathalg.LiftAdjacencyInterned(alg, baseAdj)
+		type R = pathalg.IRoute[algebras.NatInf]
+		start := matrix.Identity[R](alg, n)
+		eng := engine.New[R](alg, adj, engine.Config{})
+		defer eng.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := eng.Run(start, src).Converged(); !ok {
+				b.Fatal("interned run did not certify convergence")
+			}
+		}
+	})
 }

@@ -12,6 +12,10 @@
 // Topologies: line, ring, grid, clique, star, random, fattree.
 // Modes: sim (the event-driven message-passing simulator) and delta (the
 // sharded, memory-bounded δ engine over a random (α, β) schedule).
+// The path-aware algebras (pv, policy) run over hash-consed interned
+// paths by default; -intern=false selects the reference []Arc carrier
+// and disables the engine's pooled-scratch/memo fast paths, for A/B
+// comparison (mirroring -incremental).
 package main
 
 import (
@@ -55,6 +59,8 @@ func realMain() int {
 		stepsFlag = flag.Int("steps", 0, "delta mode: schedule horizon T (default 50·n)")
 		incFlag   = flag.Bool("incremental", true,
 			"delta mode: change-driven evaluation (skip unchanged rows, recompute only affected cells, stop at the certified fixed point); false = full recomputation, for A/B comparison")
+		internFlag = flag.Bool("intern", true,
+			"hash-consed route interning: path-aware algebras (pv, policy) carry PathIDs backed by a shared table, and the delta engine reuses pooled scratch and per-edge memo caches; false = reference []Arc paths and allocation-per-run evaluation, for A/B comparison")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -90,6 +96,7 @@ func realMain() int {
 	mode = *modeFlag
 	deltaSteps = *stepsFlag
 	incremental = *incFlag
+	interning = *internFlag
 	if mode != "sim" && mode != "delta" {
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", mode)
 		return 2
@@ -126,12 +133,20 @@ func realMain() int {
 		runNat[algebras.WidestPaths](alg, adj, cfg, *garbage, *seed, []algebras.NatInf{0, 1, 5, algebras.Inf})
 	case "pv":
 		base := algebras.ShortestPaths{}
-		alg := pathalg.New[algebras.NatInf](base)
 		baseAdj := topology.BuildUniform[algebras.NatInf](g, base.AddEdge(1))
-		adj := pathalg.LiftAdjacency(alg, baseAdj)
-		type R = pathalg.Route[algebras.NatInf]
-		start := matrix.Identity[R](alg, g.N)
-		run[R](alg, adj, start, cfg, *seed)
+		if interning {
+			alg := pathalg.NewInterned[algebras.NatInf](base, nil)
+			adj := pathalg.LiftAdjacencyInterned(alg, baseAdj)
+			type R = pathalg.IRoute[algebras.NatInf]
+			start := matrix.Identity[R](alg, g.N)
+			run[R](alg, adj, start, cfg, *seed)
+		} else {
+			alg := pathalg.New[algebras.NatInf](base)
+			adj := pathalg.LiftAdjacency(alg, baseAdj)
+			type R = pathalg.Route[algebras.NatInf]
+			start := matrix.Identity[R](alg, g.N)
+			run[R](alg, adj, start, cfg, *seed)
+		}
 	case "gr":
 		alg := gaorexford.Algebra{MaxHops: 16}
 		rng := rand.New(rand.NewSource(*seed))
@@ -157,19 +172,34 @@ func realMain() int {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
-		alg := policy.Algebra{}
-		adj := topology.Build[policy.Route](g, func(i, j int) core.Edge[policy.Route] {
-			return alg.Edge(i, j, pol)
-		})
 		fmt.Printf("policy on every edge: %s\n", pol)
-		start := matrix.Identity[policy.Route](alg, g.N)
-		if *garbage {
-			rng := rand.New(rand.NewSource(*seed))
-			start = matrix.RandomState(rng, g.N, func(rng *rand.Rand, _, _ int) policy.Route {
-				return policy.RandomRoute(rng, g.N)
+		if interning {
+			alg := policy.NewInterned(nil)
+			adj := topology.Build[policy.IRoute](g, func(i, j int) core.Edge[policy.IRoute] {
+				return alg.Edge(i, j, pol)
 			})
+			start := matrix.Identity[policy.IRoute](alg, g.N)
+			if *garbage {
+				rng := rand.New(rand.NewSource(*seed))
+				start = matrix.RandomState(rng, g.N, func(rng *rand.Rand, _, _ int) policy.IRoute {
+					return alg.FromRoute(policy.RandomRoute(rng, g.N))
+				})
+			}
+			run[policy.IRoute](alg, adj, start, cfg, *seed)
+		} else {
+			alg := policy.Algebra{}
+			adj := topology.Build[policy.Route](g, func(i, j int) core.Edge[policy.Route] {
+				return alg.Edge(i, j, pol)
+			})
+			start := matrix.Identity[policy.Route](alg, g.N)
+			if *garbage {
+				rng := rand.New(rand.NewSource(*seed))
+				start = matrix.RandomState(rng, g.N, func(rng *rand.Rand, _, _ int) policy.Route {
+					return policy.RandomRoute(rng, g.N)
+				})
+			}
+			run[policy.Route](alg, adj, start, cfg, *seed)
 		}
-		run[policy.Route](alg, adj, start, cfg, *seed)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown algebra %q\n", *algebra)
 		return 2
@@ -181,12 +211,14 @@ func realMain() int {
 var recorder *trace.Recorder
 
 // mode selects the evaluation substrate; deltaSteps is -steps;
-// incremental is -incremental; exitCode is the eventual process status
-// (set instead of os.Exit so deferred profile writers run).
+// incremental is -incremental; interning is -intern; exitCode is the
+// eventual process status (set instead of os.Exit so deferred profile
+// writers run).
 var (
 	mode        string
 	deltaSteps  int
 	incremental bool
+	interning   bool
 	exitCode    int
 )
 
@@ -260,6 +292,9 @@ func runDelta[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], start *matri
 	cfg := engine.Config{}
 	if !incremental {
 		cfg.Incremental = engine.IncOff
+	}
+	if !interning {
+		cfg.Interning = engine.InternOff
 	}
 	eng := engine.New[R](alg, adj, cfg)
 	defer eng.Close()

@@ -1,0 +1,81 @@
+// Optional algebra capabilities for hash-consed (interned) route
+// carriers. An algebra whose routes embed interned components can promise
+// O(1) equality (Interner) and compact, comparable route values suitable
+// for memoising edge applications (EdgeMemoizer). The evaluation kernels
+// in matrix and engine detect these capabilities by type assertion and
+// fall back to the general path when absent, so algebras opt in without
+// any change to the Algebra contract.
+package core
+
+import "sync"
+
+// Interner is implemented by algebras whose Equal can be answered in O(1)
+// — typically because every variable-length route component (such as a
+// path) is hash-consed into an id, making structural equality an integer
+// compare. FastEqual must coincide with Equal on every pair of routes;
+// it exists because Equal is often routed through a full comparison
+// (Compare(a, b) == 0) that walks the very components interning collapses.
+type Interner[R any] interface {
+	FastEqual(a, b R) bool
+}
+
+// EqualFn returns the cheapest correct equality for alg: FastEqual when
+// the algebra interns its routes, alg.Equal otherwise. Kernels that
+// compare routes in a hot loop resolve this once instead of paying the
+// deep compare per cell.
+func EqualFn[R any](alg Algebra[R]) func(a, b R) bool {
+	if in, ok := alg.(Interner[R]); ok {
+		return in.FastEqual
+	}
+	return alg.Equal
+}
+
+// EdgeMemoizer is implemented by algebras whose routes are compact
+// comparable values (interned carriers), making a map from input route to
+// output route a sound and cheap cache of an edge function. MemoizeEdge
+// wraps an edge weight with such a cache; because edge functions are pure
+// (F is a set of functions S → S), memoisation never changes results.
+type EdgeMemoizer[R any] interface {
+	MemoizeEdge(e Edge[R]) Edge[R]
+}
+
+// memoEdgeCap bounds each memo to keep pathological schedules from
+// retaining unbounded distinct inputs; beyond the cap the edge computes
+// without caching. 1<<15 comfortably covers every route a node sees on
+// the experiment scales.
+const memoEdgeCap = 1 << 15
+
+// memoEdge caches Apply results of one edge weight. Reads take a shared
+// lock, so concurrent column shards of one row — which apply the same
+// edge — scale on the hit path that dominates once a region converges.
+type memoEdge[R comparable] struct {
+	e  Edge[R]
+	mu sync.RWMutex
+	m  map[R]R
+}
+
+// MemoEdge wraps e with a per-edge route → result cache. It requires a
+// comparable route carrier; interned algebras provide one by design.
+func MemoEdge[R comparable](e Edge[R]) Edge[R] {
+	return &memoEdge[R]{e: e, m: make(map[R]R)}
+}
+
+// Apply implements Edge.
+func (me *memoEdge[R]) Apply(r R) R {
+	me.mu.RLock()
+	v, ok := me.m[r]
+	me.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = me.e.Apply(r)
+	me.mu.Lock()
+	if len(me.m) < memoEdgeCap {
+		me.m[r] = v
+	}
+	me.mu.Unlock()
+	return v
+}
+
+// Label implements Edge.
+func (me *memoEdge[R]) Label() string { return me.e.Label() }

@@ -35,7 +35,9 @@ package engine
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -66,6 +68,25 @@ const (
 	// IncOff forces the full path: every active row recomputes all n
 	// destinations. The baseline incremental runs are measured against.
 	IncOff
+)
+
+// InternMode selects the interning fast paths (Config.Interning).
+type InternMode int
+
+const (
+	// InternAuto (the zero value) enables the interning-era fast paths:
+	// run scratch (history ring, row slabs, change-tracking matrices) is
+	// pooled on the engine and reused across runs, so the σ/δ hot path
+	// stops allocating once warm; and when the algebra interns its routes
+	// (core.Interner / core.EdgeMemoizer) the kernels use O(1) equality
+	// and each run evaluates through a per-edge memo cache, so
+	// re-extending an unchanged neighbour route is a table lookup instead
+	// of a policy evaluation. All of it is bit-identical to the plain
+	// path, so there is no reason to disable it except A/B measurement.
+	InternAuto InternMode = iota
+	// InternOff forces the allocation-per-run, deep-compare,
+	// no-memoisation path the interned runs are measured against.
+	InternOff
 )
 
 // TerminationMode selects early δ-termination (Config.Termination).
@@ -108,6 +129,9 @@ type Config struct {
 	// Termination selects early δ-termination; the default stops early
 	// whenever the source is Fair and incremental evaluation is on.
 	Termination TerminationMode
+	// Interning selects the pooled-scratch and interned-route fast paths;
+	// the default enables them.
+	Interning InternMode
 }
 
 // Stats counts what a run did, for benchmarks and the dbfsim report.
@@ -139,10 +163,13 @@ type Stats struct {
 }
 
 // Engine evaluates δ (and, through the Synchronous source, σ) over one
-// algebra and topology. It is stateless between runs and safe for
-// concurrent use by separate goroutines. Engines own a lazily-started
-// persistent worker pool; Close releases it early, and a GC cleanup
-// releases it for engines that are simply dropped.
+// algebra and topology. It is semantically stateless between runs — no
+// result ever depends on a prior run — and safe for concurrent use by
+// separate goroutines; with interning on it retains one run's worth of
+// scratch purely as memory to reuse. Engines own a lazily-started
+// persistent worker pool; Close releases both the pool and the retained
+// scratch early, and a GC cleanup handles engines that are simply
+// dropped.
 type Engine[R any] struct {
 	alg         core.Algebra[R]
 	adj         *matrix.Adjacency[R]
@@ -150,9 +177,23 @@ type Engine[R any] struct {
 	workers     int
 	shardCols   int
 	incremental bool
+	interning   bool
 	termination TerminationMode
 	pool        *pool
 	cleanup     runtime.Cleanup
+	// mu guards the retained cross-run state below. spare is the run
+	// scratch reused across Runs when interning is on — a warm engine's
+	// evaluation loop allocates (almost) nothing. A plain slot rather
+	// than a sync.Pool so the garbage the run itself no longer produces
+	// cannot trigger the GC into discarding the very scratch that
+	// eliminates it. memoAdj is the memoised adjacency view, reused until
+	// the underlying adjacency's generation moves. closed stops both from
+	// being repopulated after Close.
+	mu      sync.Mutex
+	spare   *run[R]
+	memoAdj *matrix.Adjacency[R]
+	memoGen uint64
+	closed  bool
 }
 
 // New builds an engine for the given algebra and topology.
@@ -169,6 +210,7 @@ func New[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], cfg Config) *Engi
 		alg: alg, adj: adj,
 		window: cfg.HistoryWindow, workers: workers, shardCols: shard,
 		incremental: cfg.Incremental != IncOff,
+		interning:   cfg.Interning != InternOff,
 		termination: cfg.Termination,
 		pool:        newPool(workers - 1),
 	}
@@ -182,6 +224,9 @@ func New[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], cfg Config) *Engi
 func (e *Engine[R]) Close() {
 	e.cleanup.Stop()
 	e.pool.close()
+	e.mu.Lock()
+	e.spare, e.memoAdj, e.closed = nil, nil, true
+	e.mu.Unlock()
 }
 
 // Run evaluates δ from start over the source's schedule with the default
@@ -205,6 +250,12 @@ type incShared struct {
 	// published snapshot's changed-destination bitsets: "did k's column j
 	// change in (lo, t]?" is exactly ver[k·n+j] > lo.
 	ver []int32
+	// wordMax[k·wper+wi] is the word-granular summary of ver: the latest
+	// time any of node k's columns in word wi (destinations [64wi,
+	// 64wi+64)) changed. The dirty resolution consults it first, so 64
+	// clean columns cost one compare per neighbour instead of 64.
+	wordMax []int32
+	wper    int // words per node: ⌈n/64⌉
 	// scratch[w] is worker w's workspace.
 	scratch []workerScratch
 	// cells accumulates recomputed-cell counts from tracked tasks.
@@ -212,11 +263,12 @@ type incShared struct {
 }
 
 // workerScratch is one worker's private workspace: the dirty-column set
-// being assembled and the β-resolved ver-row slices of the current task's
-// neighbours.
+// being assembled and the β-resolved ver-row and word-summary slices of
+// the current task's neighbours.
 type workerScratch struct {
 	cols matrix.Bitset
 	rows [][]int32
+	wmax [][]int32
 }
 
 // rowTask is one unit of sharded work: compute dst[j0:j1] of node i's
@@ -226,6 +278,7 @@ type workerScratch struct {
 // value moved in chg.
 type rowTask[R any] struct {
 	i, j0, j1 int
+	adj       *matrix.Adjacency[R] // the (possibly memoised) adjacency view
 	tabs      [][]R
 	dst       []R
 	inc       *incShared
@@ -239,7 +292,9 @@ type rowTask[R any] struct {
 // allocator out of the hot loop even before recycling warms up.
 const slabRows = 16
 
-// run is the mutable state of one evaluation.
+// run is the mutable state of one evaluation. With interning on, run
+// values are pooled on the engine and every slice below is retained
+// across runs, so a warm run allocates nothing on the hot path.
 type run[R any] struct {
 	window   int // -1 = keep all
 	ring     []snapshot[R]
@@ -256,6 +311,26 @@ type run[R any] struct {
 	lastComp []int32         // time of node's last recomputation, −1 = never
 	lastRead []int32         // lastRead[i·n+k] = β used at i's last recomputation
 	chg      []matrix.Bitset // per-node changed-destination scratch
+
+	// adj is the adjacency this run evaluates through: the engine's, or a
+	// per-run view whose edges are wrapped in memo caches when the
+	// algebra supports it.
+	adj *matrix.Adjacency[R]
+
+	// per-run working storage, retained across runs when pooled
+	nbr      []int32
+	nbrOff   []int32
+	tabs     []snapshot[R]
+	actives  []int
+	tasks    []rowTask[R]
+	pendRows []int32
+	pendLo   []int32
+	loArena  []int32
+	betaBuf  []int
+	actMinB  []int32
+	actNodes []int32
+	certStmp []int32
+	seenRows [][]R // ring-reclaim dedup scratch
 }
 
 func (r *run[R]) newRow(n int) []R {
@@ -328,6 +403,166 @@ func (r *run[R]) at(t, b int) snapshot[R] {
 	return r.ring[b%(r.window+1)]
 }
 
+// acquireRun returns a run ready for evaluation: a pooled one (scratch,
+// history ring, row slabs and change-tracking matrices reset and reused)
+// when interning is on, a fresh one otherwise. Keep-everything histories
+// always get fresh backing — they escape into the Result.
+func (e *Engine[R]) acquireRun(n, window, T int) *run[R] {
+	var r *run[R]
+	if e.interning {
+		e.mu.Lock()
+		r, e.spare = e.spare, nil
+		e.mu.Unlock()
+	}
+	if r == nil {
+		r = &run[R]{}
+	}
+	r.window = window
+	r.stats = Stats{}
+	if window >= 0 {
+		if len(r.ring) != window+1 {
+			r.ring = make([]snapshot[R], window+1)
+		}
+		r.all = nil
+	} else {
+		r.all = make([]snapshot[R], 0, T+1)
+	}
+	if e.incremental {
+		if r.inc == nil {
+			wper := (n + 63) / 64
+			r.inc = &incShared{
+				n: n, ver: make([]int32, n*n),
+				wordMax: make([]int32, n*wper), wper: wper,
+				scratch: make([]workerScratch, e.workers),
+			}
+			for w, b := range matrix.NewBitsets(e.workers, n) {
+				r.inc.scratch[w].cols = b
+			}
+			r.rowMax = make([]int32, n)
+			r.lastComp = make([]int32, n)
+			r.lastRead = make([]int32, n*n)
+			r.chg = matrix.NewBitsets(n, n)
+		} else {
+			clear(r.inc.ver)
+			clear(r.inc.wordMax)
+			clear(r.lastRead)
+			clear(r.rowMax)
+			r.inc.cells.Store(0)
+			// r.chg is clear: the serial fold clears every set bitset
+			// before the run that pooled this scratch returned.
+		}
+		for i := range r.lastComp {
+			r.lastComp[i] = -1
+		}
+	}
+	if cap(r.actives) < n {
+		r.actives = make([]int, 0, n)
+	}
+	if len(r.tabs) != n {
+		r.tabs = make([]snapshot[R], n)
+	}
+	if cap(r.pendRows) < n {
+		r.pendRows = make([]int32, 0, n)
+		r.pendLo = make([]int32, 0, n)
+	}
+	return r
+}
+
+// releaseRun reclaims the run's history rows and headers into its free
+// lists and returns the scratch to the engine pool. Row sharing is
+// contiguous in time, so the distinct rows of one node across the ring
+// are found by a pointer scan; everything reclaimed here feeds the next
+// run's newRow/newHeader without touching the allocator.
+func (e *Engine[R]) releaseRun(r *run[R]) {
+	if !e.interning || r.window < 0 {
+		return
+	}
+	n := len(r.tabs)
+	seen := r.seenRows
+	for i := 0; i < n; i++ {
+		seen = seen[:0]
+		for _, s := range r.ring {
+			if s == nil {
+				continue
+			}
+			row := s[i]
+			if len(row) == 0 {
+				continue
+			}
+			dup := false
+			for _, q := range seen {
+				if &q[0] == &row[0] {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				seen = append(seen, row)
+				r.freeRows = append(r.freeRows, row)
+			}
+		}
+	}
+	r.seenRows = seen[:0]
+	for si, s := range r.ring {
+		if s != nil {
+			r.freeHdrs = append(r.freeHdrs, s)
+			r.ring[si] = nil
+		}
+	}
+	// Drop the run-local references to the memo adjacency view (the
+	// engine retains it, keyed by topology generation): the run pointer
+	// and the rowTask values lingering in the retained task backing.
+	r.adj = nil
+	clear(r.tasks[:cap(r.tasks)])
+	e.mu.Lock()
+	if e.spare == nil && !e.closed {
+		e.spare = r
+	}
+	e.mu.Unlock()
+}
+
+// adjFor returns the adjacency a run evaluates through: when interning
+// is on and the algebra interns its routes (core.EdgeMemoizer), a view
+// whose edges carry memo caches — edge × interned route → result — so
+// re-extending an unchanged neighbour route is a map lookup instead of a
+// policy evaluation. The view is retained across runs and rebuilt only
+// when the underlying adjacency's generation moves (the dynamic-topology
+// experiments mutate adjacencies between runs), so on static topologies
+// a convergence tail stays a map hit run after run. Close drops it;
+// each cache is bounded by core's memo cap.
+func (e *Engine[R]) adjFor() *matrix.Adjacency[R] {
+	if !e.interning {
+		return e.adj
+	}
+	m, ok := e.alg.(core.EdgeMemoizer[R])
+	if !ok {
+		return e.adj
+	}
+	gen := e.adj.Generation()
+	e.mu.Lock()
+	if e.memoAdj != nil && e.memoGen == gen {
+		out := e.memoAdj
+		e.mu.Unlock()
+		return out
+	}
+	e.mu.Unlock()
+	n := e.adj.N
+	out := matrix.NewAdjacency[R](n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if ed, ok := e.adj.Edge(i, j); ok {
+				out.SetEdge(i, j, m.MemoizeEdge(ed))
+			}
+		}
+	}
+	e.mu.Lock()
+	if !e.closed {
+		e.memoAdj, e.memoGen = out, gen
+	}
+	e.mu.Unlock()
+	return out
+}
+
 // terminationFor resolves whether this run may stop at a certified fixed
 // point, and the source's fairness period when it may.
 func (e *Engine[R]) terminationFor(src Source) (bool, int) {
@@ -356,32 +591,27 @@ func (e *Engine[R]) terminationFor(src Source) (bool, int) {
 	return true, p
 }
 
-// neighbours builds the flat in-neighbour lists of the adjacency: node
-// i's neighbours are nbr[off[i]:off[i+1]]. Built per run because the
-// dynamic-topology experiments mutate adjacencies between runs.
-func (e *Engine[R]) neighbours() (nbr []int32, off []int32) {
+// neighbours builds the flat in-neighbour lists of the adjacency into
+// the run's retained buffers: node i's neighbours are
+// nbr[off[i]:off[i+1]]. Built per run because the dynamic-topology
+// experiments mutate adjacencies between runs.
+func (e *Engine[R]) neighbours(r *run[R]) (nbr []int32, off []int32) {
 	n := e.adj.N
-	off = make([]int32, n+1)
-	deg := 0
+	if cap(r.nbrOff) < n+1 {
+		r.nbrOff = make([]int32, n+1)
+	}
+	off = r.nbrOff[:n+1]
+	nbr = r.nbr[:0]
 	for i := 0; i < n; i++ {
-		off[i] = int32(deg)
+		off[i] = int32(len(nbr))
 		for k := 0; k < n; k++ {
 			if _, ok := e.adj.Edge(i, k); ok && k != i {
-				deg++
+				nbr = append(nbr, int32(k))
 			}
 		}
 	}
-	off[n] = int32(deg)
-	nbr = make([]int32, deg)
-	pos := 0
-	for i := 0; i < n; i++ {
-		for k := 0; k < n; k++ {
-			if _, ok := e.adj.Edge(i, k); ok && k != i {
-				nbr[pos] = int32(k)
-				pos++
-			}
-		}
-	}
+	off[n] = int32(len(nbr))
+	r.nbr = nbr
 	return nbr, off
 }
 
@@ -415,26 +645,9 @@ func (e *Engine[R]) Run(start *matrix.State[R], src Source) *Result[R] {
 		doTerm = false
 	}
 	T := src.Horizon()
-	r := &run[R]{window: window}
-	if window >= 0 {
-		r.ring = make([]snapshot[R], window+1)
-	} else {
-		r.all = make([]snapshot[R], 0, T+1)
-	}
-	nbr, nbrOff := e.neighbours()
-	if e.incremental {
-		r.inc = &incShared{n: n, ver: make([]int32, n*n), scratch: make([]workerScratch, e.workers)}
-		for w, b := range matrix.NewBitsets(e.workers, n) {
-			r.inc.scratch[w].cols = b
-		}
-		r.rowMax = make([]int32, n)
-		r.lastComp = make([]int32, n)
-		for i := range r.lastComp {
-			r.lastComp[i] = -1
-		}
-		r.lastRead = make([]int32, n*n)
-		r.chg = matrix.NewBitsets(n, n)
-	}
+	r := e.acquireRun(n, window, T)
+	nbr, nbrOff := e.neighbours(r)
+	r.adj = e.adjFor()
 
 	s0 := r.newHeader(n)
 	for i := range s0 {
@@ -444,9 +657,9 @@ func (e *Engine[R]) Run(start *matrix.State[R], src Source) *Result[R] {
 	}
 	r.put(0, s0)
 
-	actives := make([]int, 0, n)
-	tabs := make([]snapshot[R], n) // per-node β-resolved table scratch
-	var tasks []rowTask[R]
+	actives := r.actives[:0]
+	tabs := r.tabs // per-node β-resolved table scratch
+	tasks := r.tasks
 	prev := s0
 
 	// Per-step incremental scratch. loArena backs the per-task threshold
@@ -467,16 +680,31 @@ func (e *Engine[R]) Run(start *matrix.State[R], src Source) *Result[R] {
 	// tail most activations skip, and sharding over the survivors is what
 	// keeps the pool busy). pendLo is the row's offset into loArena, −1
 	// for a full (first-activation or non-incremental) recomputation.
-	pendRows := make([]int32, 0, n)
-	pendLo := make([]int32, 0, n)
+	pendRows := r.pendRows[:0]
+	pendLo := r.pendLo[:0]
 	if e.incremental {
-		loArena = make([]int32, 0, len(nbr))
-		betaBuf = make([]int, maxDegree(nbrOff))
+		if cap(r.loArena) < len(nbr) {
+			r.loArena = make([]int32, 0, len(nbr))
+		}
+		if d := maxDegree(nbrOff); len(r.betaBuf) < d {
+			r.betaBuf = make([]int, d)
+		}
+		loArena = r.loArena[:0]
+		betaBuf = r.betaBuf
 	}
 	if doTerm {
-		actMinB = make([]int32, 0, n)
-		actNodes = make([]int32, 0, n)
-		certStmp = make([]int32, n)
+		if cap(r.actMinB) < n {
+			r.actMinB = make([]int32, 0, n)
+			r.actNodes = make([]int32, 0, n)
+		}
+		if len(r.certStmp) != n {
+			r.certStmp = make([]int32, n)
+		} else {
+			clear(r.certStmp)
+		}
+		actMinB = r.actMinB[:0]
+		actNodes = r.actNodes[:0]
+		certStmp = r.certStmp
 	}
 	lastChange := 0
 	steps := T
@@ -619,7 +847,7 @@ func (e *Engine[R]) Run(start *matrix.State[R], src Source) *Result[R] {
 					for s := 0; s < shards; s++ {
 						tasks = append(tasks, rowTask[R]{
 							i: i, j0: s * n / shards, j1: (s + 1) * n / shards,
-							tabs: tb, dst: dst,
+							adj: r.adj, tabs: tb, dst: dst,
 							inc: incp, prev: prevRow, nbr: nb, lo: lo, chg: chgI,
 						})
 					}
@@ -634,9 +862,17 @@ func (e *Engine[R]) Run(start *matrix.State[R], src Source) *Result[R] {
 				for _, fi := range pendRows {
 					i := int(fi)
 					base := i * n
+					wbase := i * r.inc.wper
 					chgI := &r.chg[i]
 					if !chgI.Empty() {
-						chgI.ForEach(func(j int) { r.inc.ver[base+j] = int32(t) })
+						chgI.ForEachWord(func(wi int, w uint64) {
+							r.inc.wordMax[wbase+wi] = int32(t)
+							jb := base + wi<<6
+							for w != 0 {
+								r.inc.ver[jb+bits.TrailingZeros64(w)] = int32(t)
+								w &= w - 1
+							}
+						})
 						r.rowMax[i] = int32(t)
 						stepChanged = true
 						chgI.Clear()
@@ -698,6 +934,17 @@ func (e *Engine[R]) Run(start *matrix.State[R], src Source) *Result[R] {
 	if window < 0 {
 		res.snaps = r.all
 	}
+	// Hand any backing a loop may have grown back to the run, then return
+	// the scratch to the pool for the next run.
+	r.actives, r.tasks = actives[:0], tasks[:0]
+	r.pendRows, r.pendLo = pendRows[:0], pendLo[:0]
+	if e.incremental {
+		r.loArena = loArena[:0]
+	}
+	if doTerm {
+		r.actMinB, r.actNodes = actMinB[:0], actNodes[:0]
+	}
+	e.releaseRun(r)
 	return res
 }
 
@@ -730,43 +977,57 @@ func (e *Engine[R]) shardsFor(actives, n int) int {
 // which moved.
 func (e *Engine[R]) runTask(tk rowTask[R], worker int) {
 	if tk.inc == nil {
-		matrix.SigmaSpanInto(e.alg, e.adj, tk.i, tk.tabs, tk.dst, tk.j0, tk.j1)
+		matrix.SigmaSpanIntoNbr(e.alg, tk.adj, tk.i, tk.nbr, tk.tabs, tk.dst, tk.j0, tk.j1)
 		return
 	}
 	if tk.lo == nil {
 		// Tracked full recomputation (first activation): every column is
 		// computed, changes recorded against the node's starting row.
-		computed := matrix.SigmaSpanIntoChanged(e.alg, e.adj, tk.i, tk.tabs, tk.prev, tk.dst, tk.j0, tk.j1, nil, tk.chg)
+		computed := matrix.SigmaSpanIntoChangedNbr(e.alg, tk.adj, tk.i, tk.nbr, tk.tabs, tk.prev, tk.dst, tk.j0, tk.j1, nil, tk.chg)
 		tk.inc.cells.Add(int64(computed))
 		return
 	}
 	// Resolve the span's dirty columns from the last-changed matrix.
-	// Column-outer with an early break: once one neighbour marks a column
-	// dirty the rest need not be consulted, so on heavily-changing steps
-	// the scan costs O(1) per column instead of O(deg).
+	// The word-granular summary goes first: a word none of the
+	// neighbours touched since the row's thresholds is 64 clean columns
+	// for deg compares. Within a live word the scan is column-outer with
+	// an early break: once one neighbour marks a column dirty the rest
+	// need not be consulted.
 	n := tk.inc.n
+	wper := tk.inc.wper
 	ws := &tk.inc.scratch[worker]
 	rows := ws.rows[:0]
+	wmax := ws.wmax[:0]
 	for _, k32 := range tk.nbr {
 		k := int(k32)
 		rows = append(rows, tk.inc.ver[k*n:(k+1)*n])
+		wmax = append(wmax, tk.inc.wordMax[k*wper:(k+1)*wper])
 	}
-	ws.rows = rows
+	ws.rows, ws.wmax = rows, wmax
 	cols := &ws.cols
 	lo := tk.lo
 	dirtyCnt := 0
 	for wi := tk.j0 >> 6; wi <= (tk.j1-1)>>6; wi++ {
 		var m uint64
-		jhi := wi<<6 + 64
-		if jhi > tk.j1 {
-			jhi = tk.j1
+		live := false
+		for ai := range wmax {
+			if wmax[ai][wi] > lo[ai] {
+				live = true
+				break
+			}
 		}
-		for j := max(tk.j0, wi<<6); j < jhi; j++ {
-			for ai := range rows {
-				if rows[ai][j] > lo[ai] {
-					m |= 1 << (j & 63)
-					dirtyCnt++
-					break
+		if live {
+			jhi := wi<<6 + 64
+			if jhi > tk.j1 {
+				jhi = tk.j1
+			}
+			for j := max(tk.j0, wi<<6); j < jhi; j++ {
+				for ai := range rows {
+					if rows[ai][j] > lo[ai] {
+						m |= 1 << (j & 63)
+						dirtyCnt++
+						break
+					}
 				}
 			}
 		}
@@ -781,7 +1042,7 @@ func (e *Engine[R]) runTask(tk rowTask[R], worker int) {
 		// bit-iterating sparse path.
 		cols = nil
 	}
-	computed := matrix.SigmaSpanIntoChanged(e.alg, e.adj, tk.i, tk.tabs, tk.prev, tk.dst, tk.j0, tk.j1, cols, tk.chg)
+	computed := matrix.SigmaSpanIntoChangedNbr(e.alg, tk.adj, tk.i, tk.nbr, tk.tabs, tk.prev, tk.dst, tk.j0, tk.j1, cols, tk.chg)
 	tk.inc.cells.Add(int64(computed))
 }
 
@@ -830,7 +1091,7 @@ func (e *Engine[R]) SigmaInto(x, out *matrix.State[R]) {
 	for i := 0; i < n; i++ {
 		dst := out.RowView(i)
 		for s := 0; s < shards; s++ {
-			tasks = append(tasks, rowTask[R]{i: i, j0: s * n / shards, j1: (s + 1) * n / shards, tabs: tabs, dst: dst})
+			tasks = append(tasks, rowTask[R]{i: i, j0: s * n / shards, j1: (s + 1) * n / shards, adj: e.adj, tabs: tabs, dst: dst})
 		}
 	}
 	e.exec(tasks, n*n*n)

@@ -1,0 +1,28 @@
+package gaorexford
+
+import (
+	"repro/internal/matrix"
+	"repro/internal/pathalg"
+	"repro/internal/paths"
+)
+
+// IRoute is the interned path-tracked Gao–Rexford route: the (Class,
+// Hops) carrier annotated with the hash-consed id of the AS path it was
+// learned along. Route is a compact comparable struct, so the combined
+// carrier memoises and compares in O(1).
+type IRoute = pathalg.IRoute[Route]
+
+// Interned lifts the Gao–Rexford algebra into the interned path algebra
+// over tab (a fresh private table when nil): the PathID-carrying
+// counterpart of wrapping Algebra in pathalg.New, with loop rejection and
+// path tie-breaks running against the intern table.
+func (g Algebra) Interned(tab *paths.Table) *pathalg.Interned[Route] {
+	return pathalg.NewInterned[Route](g, tab)
+}
+
+// LiftInterned converts a Gao–Rexford adjacency into one over the
+// interned path-tracked carrier, attaching each relationship edge to its
+// arc.
+func LiftInterned(t *pathalg.Interned[Route], a *matrix.Adjacency[Route]) *matrix.Adjacency[IRoute] {
+	return pathalg.LiftAdjacencyInterned[Route](t, a)
+}

@@ -88,3 +88,14 @@ func (b *Bitset) ForEach(fn func(j int)) {
 		}
 	}
 }
+
+// ForEachWord calls fn for every non-zero word (wi covers columns
+// [64wi, 64wi+64)) in ascending order — the bulk form consumers use to
+// maintain word-granular summaries alongside the per-column walk.
+func (b *Bitset) ForEachWord(fn func(wi int, w uint64)) {
+	for wi, w := range b.words {
+		if w != 0 {
+			fn(wi, w)
+		}
+	}
+}

@@ -80,13 +80,15 @@ func (x *State[R]) Clone() *State[R] {
 	return &State[R]{N: x.N, cells: cells}
 }
 
-// Equal reports whether x and y agree in every cell under alg.Equal.
+// Equal reports whether x and y agree in every cell under alg.Equal
+// (via the O(1) fast path when the algebra interns its routes).
 func (x *State[R]) Equal(alg core.Algebra[R], y *State[R]) bool {
 	if x.N != y.N {
 		return false
 	}
+	eq := core.EqualFn(alg)
 	for i := range x.cells {
-		if !alg.Equal(x.cells[i], y.cells[i]) {
+		if !eq(x.cells[i], y.cells[i]) {
 			return false
 		}
 	}
@@ -132,7 +134,13 @@ func (x *State[R]) Format(alg core.Algebra[R]) string {
 type Adjacency[R any] struct {
 	N     int
 	edges []core.Edge[R]
+	gen   uint64
 }
+
+// Generation counts the mutations (SetEdge/RemoveEdge) this adjacency has
+// seen; derived views (such as the engine's memoised adjacency) use it to
+// detect topology changes and invalidate themselves.
+func (a *Adjacency[R]) Generation() uint64 { return a.gen }
 
 // NewAdjacency allocates an n × n adjacency matrix with no edges.
 func NewAdjacency[R any](n int) *Adjacency[R] {
@@ -145,6 +153,7 @@ func (a *Adjacency[R]) SetEdge(i, j int, e core.Edge[R]) {
 		panic("matrix: self-loop edges are not part of the model")
 	}
 	a.edges[i*a.N+j] = e
+	a.gen++
 }
 
 // Edge returns the weight of the edge from i to j, or (nil, false) if the
@@ -156,7 +165,10 @@ func (a *Adjacency[R]) Edge(i, j int) (core.Edge[R], bool) {
 
 // RemoveEdge deletes the edge from i to j (used by the dynamic-network
 // experiments of Section 3.2).
-func (a *Adjacency[R]) RemoveEdge(i, j int) { a.edges[i*a.N+j] = nil }
+func (a *Adjacency[R]) RemoveEdge(i, j int) {
+	a.edges[i*a.N+j] = nil
+	a.gen++
+}
 
 // Apply computes A_ij(r): the extension of route r across edge (i, j),
 // which is ∞ for missing edges.

@@ -55,12 +55,29 @@ func SigmaRowInto[R any](alg core.Algebra[R], a *Adjacency[R], i int, tabs [][]R
 // topologies. Each cell still folds ⊕ over neighbours in ascending-k
 // order, so the result is bit-identical to the j-outer form.
 func SigmaSpanInto[R any](alg core.Algebra[R], a *Adjacency[R], i int, tabs [][]R, dst []R, j0, j1 int) {
+	SigmaSpanIntoNbr(alg, a, i, nil, tabs, dst, j0, j1)
+}
+
+// SigmaSpanIntoNbr is SigmaSpanInto with a precomputed in-neighbour list:
+// when nbr is non-nil the kernel folds only over those k (in slice
+// order) instead of probing all n candidate edges — O(deg) edge lookups
+// per span on sparse topologies. A nil nbr falls back to the full scan.
+// Callers must pass exactly the k ≠ i with an (i, k) edge, ascending, to
+// keep the fold order — and therefore the result — bit-identical.
+func SigmaSpanIntoNbr[R any](alg core.Algebra[R], a *Adjacency[R], i int, nbr []int32, tabs [][]R, dst []R, j0, j1 int) {
 	inv := alg.Invalid()
 	for j := j0; j < j1; j++ {
 		dst[j] = inv
 	}
-	for k := 0; k < a.N; k++ {
-		if k == i {
+	kn := a.N
+	if nbr != nil {
+		kn = len(nbr)
+	}
+	for ki := 0; ki < kn; ki++ {
+		k := ki
+		if nbr != nil {
+			k = int(nbr[ki])
+		} else if k == i {
 			continue
 		}
 		e, ok := a.Edge(i, k)
@@ -106,8 +123,17 @@ func SigmaSpanIntoChanged[R any](
 	alg core.Algebra[R], a *Adjacency[R], i int, tabs [][]R,
 	prev, dst []R, j0, j1 int, cols, changed *Bitset,
 ) int {
+	return SigmaSpanIntoChangedNbr(alg, a, i, nil, tabs, prev, dst, j0, j1, cols, changed)
+}
+
+// SigmaSpanIntoChangedNbr is SigmaSpanIntoChanged with a precomputed
+// in-neighbour list, under the same contract as SigmaSpanIntoNbr.
+func SigmaSpanIntoChangedNbr[R any](
+	alg core.Algebra[R], a *Adjacency[R], i int, nbr []int32, tabs [][]R,
+	prev, dst []R, j0, j1 int, cols, changed *Bitset,
+) int {
 	if cols == nil {
-		SigmaSpanInto(alg, a, i, tabs, dst, j0, j1)
+		SigmaSpanIntoNbr(alg, a, i, nbr, tabs, dst, j0, j1)
 		recordChanged(alg, prev, dst, j0, j1, nil, changed)
 		return j1 - j0
 	}
@@ -119,8 +145,15 @@ func SigmaSpanIntoChanged[R any](
 		computed++
 	})
 	w0, w1 := j0>>6, (j1-1)>>6
-	for k := 0; k < a.N; k++ {
-		if k == i {
+	kn := a.N
+	if nbr != nil {
+		kn = len(nbr)
+	}
+	for ki := 0; ki < kn; ki++ {
+		k := ki
+		if nbr != nil {
+			k = int(nbr[ki])
+		} else if k == i {
 			continue
 		}
 		e, ok := a.Edge(i, k)
@@ -151,7 +184,12 @@ func SigmaSpanIntoChanged[R any](
 
 // recordChanged flushes the columns of [j0, j1) (restricted to cols when
 // non-nil) where prev and dst differ into changed, one atomic OR per word.
+// The compare resolves through core.EqualFn, so algebras with interned
+// routes (core.Interner) pay an O(1) id compare per cell instead of a
+// deep path walk — change tracking stays O(1) per cell regardless of
+// path length.
 func recordChanged[R any](alg core.Algebra[R], prev, dst []R, j0, j1 int, cols, changed *Bitset) {
+	eq := core.EqualFn(alg)
 	var mask uint64
 	word := -1
 	flush := func() {
@@ -160,7 +198,7 @@ func recordChanged[R any](alg core.Algebra[R], prev, dst []R, j0, j1 int, cols, 
 		}
 	}
 	note := func(j int) {
-		if alg.Equal(prev[j], dst[j]) {
+		if eq(prev[j], dst[j]) {
 			return
 		}
 		if w := j >> 6; w != word {

@@ -1,0 +1,81 @@
+package paths
+
+import (
+	"testing"
+)
+
+// FuzzInternDifferential drives a Table and the reference Path
+// representation through the same operation sequence and requires them to
+// agree at every step: Extend results (including loop rejection), Equal
+// vs id equality, Compare, Contains, Len and the Path/Intern round trips.
+//
+// The input encodes operations over a small node universe: each byte
+// pair (op, arg) either extends one of the held paths, starts a fresh
+// one, or re-interns a FromNodes construction. Holding several live
+// paths at once exercises sharing inside the trie.
+func FuzzInternDifferential(f *testing.F) {
+	f.Add([]byte{0x01, 0x12, 0x23, 0x30})
+	f.Add([]byte{0x10, 0x01, 0x12, 0x20, 0x01})
+	f.Add([]byte{0x31, 0x42, 0x53, 0x04, 0x15, 0x21})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nodes = 8 // > 64 is covered by the aliasing unit test
+		tab := NewTable()
+		// Slots of live (reference, interned) pairs, all starting empty.
+		refs := [4]Path{Empty, Empty, Empty, Empty}
+		ids := [4]PathID{EmptyID, EmptyID, EmptyID, EmptyID}
+
+		check := func(slot int) {
+			p, id := refs[slot], ids[slot]
+			if p.IsInvalid() != id.IsInvalid() {
+				t.Fatalf("invalid mismatch: ref %s, interned %s", p, tab.String(id))
+			}
+			if p.Len() != tab.Len(id) {
+				t.Fatalf("Len mismatch: ref %s, interned %s", p, tab.String(id))
+			}
+			if !tab.Path(id).Equal(p) {
+				t.Fatalf("materialise mismatch: ref %s, interned %s", p, tab.String(id))
+			}
+			if tab.Intern(p) != id {
+				t.Fatalf("re-intern of %s gave a different id", p)
+			}
+			for v := 0; v < nodes; v++ {
+				if p.Contains(v) != tab.Contains(id, v) {
+					t.Fatalf("Contains(%d) mismatch on %s", v, p)
+				}
+			}
+		}
+
+		for k := 0; k+1 < len(data); k += 2 {
+			op, arg := data[k], data[k+1]
+			slot := int(op>>2) % len(refs)
+			i := int(arg>>4) % nodes
+			j := int(arg) % nodes
+			switch op % 4 {
+			case 0, 1: // extend slot by (i, j); 0 also cross-checks CanExtend
+				if op%4 == 0 {
+					if refs[slot].CanExtend(i, j) != tab.CanExtend(ids[slot], i, j) {
+						t.Fatalf("CanExtend(%d,%d) mismatch on %s", i, j, refs[slot])
+					}
+				}
+				refs[slot] = refs[slot].Extend(i, j)
+				ids[slot] = tab.Extend(ids[slot], i, j)
+			case 2: // reset slot to a FromNodes construction
+				ns := make([]int, 0, 4)
+				for v := 0; v < int(arg)%5; v++ {
+					ns = append(ns, (i+v)%nodes)
+				}
+				refs[slot] = FromNodes(ns...)
+				ids[slot] = tab.Intern(refs[slot])
+			case 3: // compare two slots
+				other := int(arg) % len(refs)
+				if got, want := tab.Compare(ids[slot], ids[other]), refs[slot].Compare(refs[other]); got != want {
+					t.Fatalf("Compare(%s, %s) = %d, want %d", refs[slot], refs[other], got, want)
+				}
+				if (ids[slot] == ids[other]) != refs[slot].Equal(refs[other]) {
+					t.Fatalf("id equality vs Equal mismatch (%s, %s)", refs[slot], refs[other])
+				}
+			}
+			check(slot)
+		}
+	})
+}

@@ -13,7 +13,7 @@ package policy
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 	"strings"
 
 	"repro/internal/paths"
@@ -47,25 +47,27 @@ func (s CommunitySet) Remove(c Community) CommunitySet { return s &^ (1 << uint(
 // Has reports membership of c.
 func (s CommunitySet) Has(c Community) bool { return s&(1<<uint(c&63)) != 0 }
 
-// Members lists the communities in ascending order.
+// Members lists the communities in ascending order. It iterates only the
+// set bits (via TrailingZeros64) and allocates the result exactly once at
+// its final size, instead of probing all 64 candidates with append growth.
 func (s CommunitySet) Members() []Community {
-	var out []Community
-	for c := Community(0); c <= MaxCommunity; c++ {
-		if s.Has(c) {
-			out = append(out, c)
-		}
+	if s == 0 {
+		return nil
+	}
+	out := make([]Community, 0, bits.OnesCount64(uint64(s)))
+	for w := uint64(s); w != 0; w &= w - 1 {
+		out = append(out, Community(bits.TrailingZeros64(w)))
 	}
 	return out
 }
 
-// String renders the set as {a,b,c}.
+// String renders the set as {a,b,c} in ascending numeric order.
 func (s CommunitySet) String() string {
 	ms := s.Members()
 	parts := make([]string, len(ms))
 	for i, c := range ms {
 		parts[i] = fmt.Sprintf("%d", c)
 	}
-	sort.Strings(parts)
 	return "{" + strings.Join(parts, ",") + "}"
 }
 

@@ -153,7 +153,11 @@ func (q *eventQueue[R]) Pop() any {
 
 // engine is the mutable state of one run.
 type engine[R any] struct {
-	alg   core.Algebra[R]
+	alg core.Algebra[R]
+	// eq is the cheapest correct route equality for alg — the O(1)
+	// FastEqual when the algebra interns its routes (core.Interner),
+	// alg.Equal otherwise. Every hot comparison below goes through it.
+	eq    func(a, b R) bool
 	adj   *matrix.Adjacency[R]
 	cfg   Config
 	rng   *rand.Rand
@@ -253,6 +257,7 @@ func RunTraced[R any](
 	n := adj.N
 	e := &engine[R]{
 		alg:      alg,
+		eq:       core.EqualFn(alg),
 		adj:      adj.Clone(),
 		cfg:      cfg,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
@@ -361,7 +366,7 @@ func (e *engine[R]) activate(now int64, i int) {
 	row := matrix.SigmaRowInto(e.alg, e.adj, i, e.recv[i], e.rowScratch)
 	changed := false
 	for j := 0; j < n; j++ {
-		if !e.alg.Equal(row[j], e.state.Get(i, j)) {
+		if !e.eq(row[j], e.state.Get(i, j)) {
 			changed = true
 			if e.rec != nil {
 				e.rec.Route(now, i, j, e.alg.Format(e.state.Get(i, j)), e.alg.Format(row[j]))
@@ -394,6 +399,7 @@ func RunExtracting[R any](
 	n := adj.N
 	e := &engine[R]{
 		alg:     alg,
+		eq:      core.EqualFn(alg),
 		adj:     adj.Clone(),
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
@@ -499,7 +505,7 @@ func (e *engine[R]) quiescent() bool {
 				continue // cache never read by activate
 			}
 			for j := 0; j < n; j++ {
-				if !e.alg.Equal(e.recv[i][k][j], e.state.Get(k, j)) {
+				if !e.eq(e.recv[i][k][j], e.state.Get(k, j)) {
 					return false
 				}
 			}
@@ -510,7 +516,7 @@ func (e *engine[R]) quiescent() bool {
 			continue
 		}
 		for j := range ev.row {
-			if !e.alg.Equal(ev.row[j], e.state.Get(ev.from, j)) {
+			if !e.eq(ev.row[j], e.state.Get(ev.from, j)) {
 				return false
 			}
 		}
