@@ -1,7 +1,7 @@
 // The benchmark allocation gate: CI runs this test (opted in via
 // BENCH_GATE=1) to assert that the steady-state allocations of the E5
 // engine-convergence benchmark do not regress against the committed
-// baseline in BENCH_pr3.json. It complements the bench smoke step, which
+// baseline in BENCH_pr6.json. It complements the bench smoke step, which
 // only checks the suite still runs.
 package repro_test
 
@@ -31,18 +31,20 @@ type benchBaseline struct {
 // gateSlack is how far above the committed warm allocs/op the gate
 // tolerates: scheduling and GC timing jitter move the number a little, a
 // regression of the pooled hot path (back towards allocation-per-run)
-// moves it by an order of magnitude.
-const gateSlack = 3.0
+// moves it by an order of magnitude. Tightened from 3.0 once the
+// columnar backend held the steady state at the same 9 allocs/op as the
+// interface path — the warm figure has been stable across two PRs.
+const gateSlack = 2.0
 
 // TestE5EngineAllocGate measures steady-state (warm-pool) allocations of
 // the E5 scenario and fails if they exceed gateSlack × the committed
-// BENCH_pr3.json value. Opt-in via BENCH_GATE=1 — the measurement costs
+// BENCH_pr6.json value. Opt-in via BENCH_GATE=1 — the measurement costs
 // a few E5 runs, which is CI-step material, not unit-test material.
 func TestE5EngineAllocGate(t *testing.T) {
 	if os.Getenv("BENCH_GATE") != "1" {
 		t.Skip("set BENCH_GATE=1 to run the benchmark allocation gate")
 	}
-	raw, err := os.ReadFile("BENCH_pr3.json")
+	raw, err := os.ReadFile("BENCH_pr6.json")
 	if err != nil {
 		t.Fatalf("reading committed baseline: %v", err)
 	}
@@ -57,7 +59,7 @@ func TestE5EngineAllocGate(t *testing.T) {
 		}
 	}
 	if budget <= 0 {
-		t.Fatal("BENCH_pr3.json has no BenchmarkE5EngineConvergence warm_allocs_per_op entry")
+		t.Fatal("BENCH_pr6.json has no BenchmarkE5EngineConvergence warm_allocs_per_op entry")
 	}
 
 	alg, adj, start, src := e5Scenario()

@@ -15,7 +15,10 @@
 // The path-aware algebras (pv, policy) run over hash-consed interned
 // paths by default; -intern=false selects the reference []Arc carrier
 // and disables the engine's pooled-scratch/memo fast paths, for A/B
-// comparison (mirroring -incremental).
+// comparison (mirroring -incremental). Algebras that pack canonically
+// (shortest, rip, interned pv/gr/policy) additionally evaluate through
+// the columnar struct-of-arrays kernels by default; -columnar=false
+// keeps the generic interface path, completing the A/B triple.
 package main
 
 import (
@@ -61,6 +64,8 @@ func realMain() int {
 			"delta mode: change-driven evaluation (skip unchanged rows, recompute only affected cells, stop at the certified fixed point); false = full recomputation, for A/B comparison")
 		internFlag = flag.Bool("intern", true,
 			"hash-consed route interning: path-aware algebras (pv, policy) carry PathIDs backed by a shared table, and the delta engine reuses pooled scratch and per-edge memo caches; false = reference []Arc paths and allocation-per-run evaluation, for A/B comparison")
+		colFlag = flag.Bool("columnar", true,
+			"delta mode: evaluate packable algebras through the columnar struct-of-arrays kernels (packed cell lanes, batched per-edge policy application, word-compare change detection); false = generic interface evaluation, for A/B comparison")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -97,6 +102,7 @@ func realMain() int {
 	deltaSteps = *stepsFlag
 	incremental = *incFlag
 	interning = *internFlag
+	columnar = *colFlag
 	if mode != "sim" && mode != "delta" {
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", mode)
 		return 2
@@ -211,14 +217,15 @@ func realMain() int {
 var recorder *trace.Recorder
 
 // mode selects the evaluation substrate; deltaSteps is -steps;
-// incremental is -incremental; interning is -intern; exitCode is the
-// eventual process status (set instead of os.Exit so deferred profile
-// writers run).
+// incremental is -incremental; interning is -intern; columnar is
+// -columnar; exitCode is the eventual process status (set instead of
+// os.Exit so deferred profile writers run).
 var (
 	mode        string
 	deltaSteps  int
 	incremental bool
 	interning   bool
+	columnar    bool
 	exitCode    int
 )
 
@@ -295,6 +302,9 @@ func runDelta[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], start *matri
 	}
 	if !interning {
 		cfg.Interning = engine.InternOff
+	}
+	if !columnar {
+		cfg.Columnar = engine.ColOff
 	}
 	eng := engine.New[R](alg, adj, cfg)
 	defer eng.Close()

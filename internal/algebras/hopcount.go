@@ -53,12 +53,24 @@ func (h HopCount) Universe() []NatInf {
 }
 
 // AddEdge returns f_w(a) = w + a, clamped to ∞ beyond the limit. With
-// w ≥ 1 the edge is strictly increasing.
+// w ≥ 1 the edge is strictly increasing. The returned edge is a named
+// type (not a closure) so the columnar backend can compile it into a
+// batched kernel; its behaviour and label are unchanged.
 func (h HopCount) AddEdge(w NatInf) core.Edge[NatInf] {
-	return core.Fn[NatInf](fmt.Sprintf("+%s", w), func(a NatInf) NatInf {
-		return h.clamp(h.clamp(a).Add(w))
-	})
+	return hopAddEdge{h: h, w: w}
 }
+
+// hopAddEdge is the compiled-recognisable form of AddEdge.
+type hopAddEdge struct {
+	h HopCount
+	w NatInf
+}
+
+// Apply implements core.Edge: f_w(a) = clamp(clamp(a) + w).
+func (e hopAddEdge) Apply(a NatInf) NatInf { return e.h.clamp(e.h.clamp(a).Add(e.w)) }
+
+// Label implements core.Edge.
+func (e hopAddEdge) Label() string { return fmt.Sprintf("+%s", e.w) }
 
 // FilterPredicate is a condition evaluated against a route by a conditional
 // policy edge, mirroring the predicate P of Equation 2.
@@ -73,17 +85,31 @@ type FilterPredicate struct {
 // (experiment E1 exhibits the counterexample automatically) while remaining
 // strictly increasing, so Theorem 7 still guarantees convergence.
 func (h HopCount) ConditionalEdge(w NatInf, p FilterPredicate) core.Edge[NatInf] {
-	name := fmt.Sprintf("if %s then +%s else ∞", p.Name, w)
-	return core.Fn[NatInf](name, func(a NatInf) NatInf {
-		a = h.clamp(a)
-		if a.IsInf() {
-			return Inf
-		}
-		if !p.Test(a) {
-			return Inf
-		}
-		return h.clamp(a.Add(w))
-	})
+	return hopCondEdge{h: h, w: w, p: p}
+}
+
+// hopCondEdge is the compiled-recognisable form of ConditionalEdge.
+type hopCondEdge struct {
+	h HopCount
+	w NatInf
+	p FilterPredicate
+}
+
+// Apply implements core.Edge: f(a) = if P(a) then clamp(a + w) else ∞.
+func (e hopCondEdge) Apply(a NatInf) NatInf {
+	a = e.h.clamp(a)
+	if a.IsInf() {
+		return Inf
+	}
+	if !e.p.Test(a) {
+		return Inf
+	}
+	return e.h.clamp(a.Add(e.w))
+}
+
+// Label implements core.Edge.
+func (e hopCondEdge) Label() string {
+	return fmt.Sprintf("if %s then +%s else ∞", e.p.Name, e.w)
 }
 
 // DistanceAtMost is the predicate "route is no longer than k", a typical

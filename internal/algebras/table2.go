@@ -28,12 +28,21 @@ func (ShortestPaths) Equal(a, b NatInf) bool { return a == b }
 // Format implements route rendering.
 func (ShortestPaths) Format(r NatInf) string { return r.String() }
 
-// AddEdge returns the edge weight f_w(a) = w + a of the F₊ family.
+// AddEdge returns the edge weight f_w(a) = w + a of the F₊ family. The
+// returned edge is a named type so the columnar backend can compile it;
+// behaviour and label are unchanged.
 func (ShortestPaths) AddEdge(w NatInf) core.Edge[NatInf] {
-	return core.Fn[NatInf](fmt.Sprintf("+%s", w), func(a NatInf) NatInf {
-		return a.Add(w)
-	})
+	return spAddEdge{w: w}
 }
+
+// spAddEdge is the compiled-recognisable form of ShortestPaths.AddEdge.
+type spAddEdge struct{ w NatInf }
+
+// Apply implements core.Edge: f_w(a) = a + w, saturating at ∞.
+func (e spAddEdge) Apply(a NatInf) NatInf { return a.Add(e.w) }
+
+// Label implements core.Edge.
+func (e spAddEdge) Label() string { return fmt.Sprintf("+%s", e.w) }
 
 // LongestPaths is the (ℕ∞, max, F₊, ∞, 0) algebra of Table 2. Note the
 // swapped distinguished elements: the trivial (best) route is the numeric

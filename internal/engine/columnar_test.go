@@ -1,0 +1,117 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/algebras"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gaorexford"
+	"repro/internal/matrix"
+	"repro/internal/pathalg"
+	"repro/internal/policy"
+)
+
+// The columnar equivalence contract: the struct-of-arrays kernels are an
+// alternative evaluation backend, not an alternative semantics. A run
+// that packs (ColAuto, the default) must be indistinguishable — final
+// cells bit for bit AND every work counter — from the same run forced
+// onto the generic interface path (ColOff). The dirty set is a pure
+// function of the schedule, so Stats agreeing is part of the contract,
+// not a coincidence.
+
+// runColumnarToggle runs alg on adj under a lazy fair source with the
+// columnar backend on and off, across the incremental and sharding axes,
+// on fresh and warm engines, and requires identical states and stats.
+func runColumnarToggle[R any](t *testing.T, name string, alg core.Algebra[R], adj *matrix.Adjacency[R], T int) {
+	n := adj.N
+	start := matrix.Identity[R](alg, n)
+	src := engine.Hashed{N: n, T: T, Seed: 23, MaxGap: 6, MaxStaleness: 5}
+
+	for _, cfg := range []struct {
+		label string
+		conf  engine.Config
+	}{
+		{"default", engine.Config{}},
+		{"sharded", engine.Config{Workers: 8, ShardColumns: 1}},
+		{"nonincremental", engine.Config{Incremental: engine.IncOff}},
+	} {
+		off := cfg.conf
+		off.Columnar = engine.ColOff
+		engOff := engine.New[R](alg, adj, off)
+		resOff := engOff.Run(start, src)
+		engOn := engine.New[R](alg, adj, cfg.conf)
+		// rep ≥ 1 reuses the pooled columnar slabs and selection scratch
+		// of the first run, so stale-lane bugs cannot hide.
+		for rep := 0; rep < 2; rep++ {
+			res := engOn.Run(start, src)
+			label := fmt.Sprintf("%s/%s rep %d", name, cfg.label, rep)
+			identicalStates(t, label, res.Final(), resOff.Final())
+			statsEqual(t, label, res.Stats(), resOff.Stats())
+		}
+		engOn.Close()
+		engOff.Close()
+	}
+}
+
+// TestColumnarToggleIsBitIdentical crosses every packable carrier family
+// with the -columnar A/B contract: the bare metric lane (hop count), the
+// one-word lift with a path lane (interned path vector), the packed
+// Gao–Rexford classes, and the two-word policy cells.
+func TestColumnarToggleIsBitIdentical(t *testing.T) {
+	t.Run("hopcount", func(t *testing.T) {
+		alg, adj, _ := hopNet()
+		runColumnarToggle(t, "hopcount", alg, adj, 300)
+	})
+	t.Run("interned-pv", func(t *testing.T) {
+		alg, adj, _ := hopNet()
+		net := liftBoth("interned-pv", alg, adj)
+		runColumnarToggle[pathalg.IRoute[algebras.NatInf]](t, "interned-pv", net.in, net.adjI, 300)
+	})
+	t.Run("gaorexford", func(t *testing.T) {
+		galg := gaorexford.Algebra{MaxHops: 12}
+		_, adj, _ := grNet()
+		in := galg.Interned(nil)
+		runColumnarToggle[pathalg.IRoute[gaorexford.Route]](t, "gaorexford", in, gaorexford.LiftInterned(in, adj), 300)
+	})
+	t.Run("policy", func(t *testing.T) {
+		pol, err := policy.ParsePolicy("addc(2); if (comm(2) & !path(3)) { lp+=7 } else { prepend(1) }")
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg := policy.NewInterned(nil)
+		adj := matrix.NewAdjacency[policy.IRoute](6)
+		for i := 0; i < 6; i++ {
+			for _, d := range []int{1, 2} {
+				j := (i + d) % 6
+				adj.SetEdge(i, j, alg.Edge(i, j, pol))
+				adj.SetEdge(j, i, alg.Edge(j, i, pol))
+			}
+		}
+		runColumnarToggle[policy.IRoute](t, "policy", alg, adj, 300)
+	})
+}
+
+// TestColumnarHistoryRunsStayGeneric pins the fallback contract: a
+// history-retaining run cannot use pooled packed lanes (its snapshots
+// escape into the Result), so with columnar left on auto it must fall
+// back to the interface path and still retain a correct history.
+func TestColumnarHistoryRunsStayGeneric(t *testing.T) {
+	alg, adj, _ := hopNet()
+	n := adj.N
+	start := matrix.Identity[algebras.NatInf](alg, n)
+	src := engine.Hashed{N: n, T: 120, Seed: 23, MaxGap: 6, MaxStaleness: 5}
+
+	eng := engine.New[algebras.NatInf](alg, adj, engine.Config{HistoryWindow: engine.KeepAll})
+	defer eng.Close()
+	res := eng.Run(start, src)
+	if !res.Retained() {
+		t.Fatal("KeepAll run did not retain history with columnar on auto")
+	}
+	off := engine.New[algebras.NatInf](alg, adj, engine.Config{Columnar: engine.ColOff})
+	defer off.Close()
+	resOff := off.Run(start, src)
+	identicalStates(t, "keepall final", res.Final(), resOff.Final())
+	identicalStates(t, "keepall last snapshot", res.At(res.Horizon()), resOff.Final())
+}

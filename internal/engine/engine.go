@@ -4,7 +4,7 @@
 // source, and every other schedule — materialised (*schedule.Schedule) or
 // lazy — plugs into the same loop.
 //
-// Four properties distinguish it from the literal evaluator it replaces
+// Five properties distinguish it from the literal evaluator it replaces
 // (now async.RunReference):
 //
 //   - Copy-on-write rows. A time step shares the row storage of every
@@ -31,6 +31,15 @@
 //     and — for sources that promise fairness (Fair) — lets the run
 //     return its fixed point as soon as convergence is certified instead
 //     of marching to the horizon.
+//   - Columnar evaluation. When the algebra packs its routes into
+//     fixed-width cells (core.Columnar) and every edge of the topology
+//     compiles, the run stores rows as struct-of-arrays lanes and applies
+//     each edge to a whole dirty column through a compiled kernel — no
+//     interface calls in the fold, word compares for change tracking. The
+//     evaluation loop itself is representation-generic (run[R, Row] over
+//     a rowOps capability), so the columnar path shares every line of the
+//     scheduling, skip, and certification logic with the interface path,
+//     which remains the differential oracle.
 package engine
 
 import (
@@ -89,6 +98,22 @@ const (
 	InternOff
 )
 
+// ColumnarMode selects the struct-of-arrays backend (Config.Columnar).
+type ColumnarMode int
+
+const (
+	// ColAuto (the zero value) runs on packed columnar lanes whenever the
+	// algebra implements core.Columnar, every edge of the topology
+	// compiles to a batched kernel, and the run does not retain its full
+	// history. It is bit-identical to the interface path — same cells,
+	// same Stats — so there is no reason to disable it except A/B
+	// measurement.
+	ColAuto ColumnarMode = iota
+	// ColOff forces the interface path the columnar runs are measured
+	// against.
+	ColOff
+)
+
 // TerminationMode selects early δ-termination (Config.Termination).
 type TerminationMode int
 
@@ -132,6 +157,9 @@ type Config struct {
 	// Interning selects the pooled-scratch and interned-route fast paths;
 	// the default enables them.
 	Interning InternMode
+	// Columnar selects the struct-of-arrays backend; the default enables
+	// it whenever the algebra supports it.
+	Columnar ColumnarMode
 }
 
 // Stats counts what a run did, for benchmarks and the dbfsim report.
@@ -178,22 +206,28 @@ type Engine[R any] struct {
 	shardCols   int
 	incremental bool
 	interning   bool
+	columnar    bool
 	termination TerminationMode
 	pool        *pool
 	cleanup     runtime.Cleanup
-	// mu guards the retained cross-run state below. spare is the run
-	// scratch reused across Runs when interning is on — a warm engine's
-	// evaluation loop allocates (almost) nothing. A plain slot rather
-	// than a sync.Pool so the garbage the run itself no longer produces
-	// cannot trigger the GC into discarding the very scratch that
-	// eliminates it. memoAdj is the memoised adjacency view, reused until
-	// the underlying adjacency's generation moves. closed stops both from
-	// being repopulated after Close.
-	mu      sync.Mutex
-	spare   *run[R]
-	memoAdj *matrix.Adjacency[R]
-	memoGen uint64
-	closed  bool
+	// mu guards the retained cross-run state below. spareG/spareC are the
+	// run scratch reused across Runs when interning is on — one slot per
+	// row representation, so a warm engine's evaluation loop allocates
+	// (almost) nothing. Plain slots rather than a sync.Pool so the
+	// garbage the run itself no longer produces cannot trigger the GC
+	// into discarding the very scratch that eliminates it. memoAdj is the
+	// memoised adjacency view and colSup the compiled columnar kernel
+	// table, each reused until the underlying adjacency's generation
+	// moves. closed stops all of them from being repopulated after Close.
+	mu       sync.Mutex
+	spareG   *run[R, []R]
+	spareC   *run[R, core.Col]
+	memoAdj  *matrix.Adjacency[R]
+	memoGen  uint64
+	colSup   *colSupport[R]
+	colGen   uint64
+	colTried bool
+	closed   bool
 }
 
 // New builds an engine for the given algebra and topology.
@@ -211,6 +245,7 @@ func New[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], cfg Config) *Engi
 		window: cfg.HistoryWindow, workers: workers, shardCols: shard,
 		incremental: cfg.Incremental != IncOff,
 		interning:   cfg.Interning != InternOff,
+		columnar:    cfg.Columnar != ColOff,
 		termination: cfg.Termination,
 		pool:        newPool(workers - 1),
 	}
@@ -225,7 +260,7 @@ func (e *Engine[R]) Close() {
 	e.cleanup.Stop()
 	e.pool.close()
 	e.mu.Lock()
-	e.spare, e.memoAdj, e.closed = nil, nil, true
+	e.spareG, e.spareC, e.memoAdj, e.colSup, e.closed = nil, nil, nil, nil, true
 	e.mu.Unlock()
 }
 
@@ -234,11 +269,6 @@ func (e *Engine[R]) Close() {
 func Run[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], start *matrix.State[R], src Source) *Result[R] {
 	return New(alg, adj, Config{}).Run(start, src)
 }
-
-// snapshot is one time step's global state as n row slices; rows are
-// shared with neighbouring snapshots for every node that did not activate
-// in between. Snapshots are immutable once published.
-type snapshot[R any] [][]R
 
 // incShared is the read-only incremental state a step's tasks consume:
 // the last-changed-time matrix and the per-worker scratch bitsets. It is
@@ -256,33 +286,55 @@ type incShared struct {
 	// clean columns cost one compare per neighbour instead of 64.
 	wordMax []int32
 	wper    int // words per node: ⌈n/64⌉
+	// rowMax[k] = max_j ver[k·n+j]: the O(1) whole-row dirty summary,
+	// consulted both by the skip pass and by dirty resolution to drop
+	// fully-clean neighbours before any per-word work.
+	rowMax []int32
+	// hist is a ring of per-step change masks, histH slots per node:
+	// slot (k, s mod histH) holds node k's changed-destination words of
+	// step s, valid iff histStamp[k·histH + s mod histH] == s. For a
+	// threshold within the ring's depth the dirty resolution ORs these
+	// precomputed words — a handful of loads per neighbour — instead of
+	// comparing per-column stamps; ver remains the exact fallback for
+	// older thresholds. The ring is the same memory order as ver itself
+	// (histH/64 · 2 words per ver's int32 column, per node).
+	hist      []uint64 // n · histH · wper
+	histStamp []int32  // n · histH
+	// top is the latest step whose changes have been folded; the mask
+	// union over (lo, top] equals {j : ver[j] > lo} because no column
+	// changed after top.
+	top int32
 	// scratch[w] is worker w's workspace.
 	scratch []workerScratch
 	// cells accumulates recomputed-cell counts from tracked tasks.
 	cells atomic.Int64
 }
 
-// workerScratch is one worker's private workspace: the dirty-column set
-// being assembled and the β-resolved ver-row and word-summary slices of
-// the current task's neighbours.
+// histH is the change-mask ring depth per node: thresholds reaching at
+// most histH steps back resolve dirty columns from precomputed masks.
+// Must be a power of two.
+const histH = 32
+
+// workerScratch is one worker's private workspace: the dirty-column
+// masks being assembled and their bitset form.
 type workerScratch struct {
-	cols matrix.Bitset
-	rows [][]int32
-	wmax [][]int32
+	cols  matrix.Bitset
+	masks []uint64
 }
 
 // rowTask is one unit of sharded work: compute dst[j0:j1] of node i's
 // σ-row from the β-resolved neighbour tables. Tracked tasks (inc != nil)
 // recompute only the columns whose inputs changed since the row's last
 // recomputation, copy prev for the rest, and record the columns whose
-// value moved in chg.
-type rowTask[R any] struct {
+// value moved in chg. Row is the row representation: []R on the
+// interface path, core.Col (packed lanes) on the columnar path.
+type rowTask[R, Row any] struct {
 	i, j0, j1 int
-	adj       *matrix.Adjacency[R] // the (possibly memoised) adjacency view
-	tabs      [][]R
-	dst       []R
+	adj       *matrix.Adjacency[R] // the (possibly memoised) adjacency view; nil on the columnar path
+	tabs      []Row
+	dst       Row
 	inc       *incShared
-	prev      []R            // the row's previous value
+	prev      Row            // the row's previous value
 	nbr       []int32        // i's in-neighbours
 	lo        []int32        // per-neighbour unchanged-since thresholds
 	chg       *matrix.Bitset // changed-destination output, shared by shards
@@ -292,37 +344,92 @@ type rowTask[R any] struct {
 // allocator out of the hot loop even before recycling warms up.
 const slabRows = 16
 
-// run is the mutable state of one evaluation. With interning on, run
-// values are pooled on the engine and every slice below is retained
-// across runs, so a warm run allocates nothing on the hot path.
-type run[R any] struct {
+// rowSlab carves rows of one representation out of large blocks; the
+// leftover backing persists across pooled runs.
+type rowSlab[Row any] interface {
+	carve(n int) Row
+}
+
+// genSlab is the []R row slab.
+type genSlab[R any] struct{ buf []R }
+
+func (s *genSlab[R]) carve(n int) []R {
+	if len(s.buf) < n {
+		s.buf = make([]R, slabRows*n)
+	}
+	row := s.buf[:n:n]
+	s.buf = s.buf[n:]
+	return row
+}
+
+// rowOps is the row-representation capability the generic evaluation
+// loop runs through: everything the loop cannot do without knowing
+// whether a row is a []R slice or a pair of packed lanes. genOps is the
+// interface path; colOps (columnar.go) the packed one. Both are
+// bit-identical by contract — the loop, the skip logic, the stats and
+// the certification never see the difference.
+type rowOps[R, Row any] interface {
+	// takeSpare and putSpare move the pooled run scratch in and out of
+	// the engine's per-representation spare slot (locking engine.mu).
+	takeSpare() *run[R, Row]
+	putSpare(r *run[R, Row])
+	// newSlab returns a fresh row arena; prepare sizes any
+	// representation-specific per-run scratch.
+	newSlab() rowSlab[Row]
+	prepare(r *run[R, Row], n int)
+	// adjFor is the adjacency view tasks evaluate through (nil when the
+	// representation does not use one).
+	adjFor() *matrix.Adjacency[R]
+	// encodeRow writes a reference row into a freshly allocated Row.
+	encodeRow(dst Row, src []R)
+	// copySpan copies columns [j0, j1) between rows.
+	copySpan(dst, src Row, j0, j1 int)
+	emptyRow(a Row) bool
+	// sameRow reports whether two non-empty rows share backing storage.
+	sameRow(a, b Row) bool
+	// materialise converts a snapshot into a standalone state.
+	materialise(s []Row) *matrix.State[R]
+	// retain hands a keep-everything history to the result.
+	retain(res *Result[R], all [][]Row)
+	// runTask executes one row task on behalf of the given worker.
+	runTask(tk *rowTask[R, Row], worker int)
+}
+
+// run is the mutable state of one evaluation, generic over the row
+// representation. With interning on, run values are pooled on the engine
+// and every slice below is retained across runs, so a warm run allocates
+// nothing on the hot path. A snapshot — one time step's global state —
+// is a []Row of n rows, shared with neighbouring snapshots for every
+// node that did not activate in between, and immutable once published.
+type run[R, Row any] struct {
+	ops      rowOps[R, Row]
 	window   int // -1 = keep all
-	ring     []snapshot[R]
-	all      []snapshot[R]
-	freeRows [][]R
-	freeHdrs []snapshot[R]
-	rowSlab  []R
-	hdrSlab  [][]R
+	ring     [][]Row
+	all      [][]Row
+	freeRows []Row
+	freeHdrs [][]Row
+	slab     rowSlab[Row]
+	hdrSlab  []Row
 	stats    Stats
 
 	// incremental bookkeeping (nil/empty when incremental is off)
 	inc      *incShared
-	rowMax   []int32         // rowMax[k] = max_j ver[k·n+j], the O(1) row-skip test
 	lastComp []int32         // time of node's last recomputation, −1 = never
 	lastRead []int32         // lastRead[i·n+k] = β used at i's last recomputation
 	chg      []matrix.Bitset // per-node changed-destination scratch
 
-	// adj is the adjacency this run evaluates through: the engine's, or a
+	// adj is the adjacency this run evaluates through: the engine's, a
 	// per-run view whose edges are wrapped in memo caches when the
-	// algebra supports it.
+	// algebra supports it, or nil on the columnar path (tasks run through
+	// compiled kernels instead).
 	adj *matrix.Adjacency[R]
 
 	// per-run working storage, retained across runs when pooled
 	nbr      []int32
 	nbrOff   []int32
-	tabs     []snapshot[R]
+	tabs     [][]Row
 	actives  []int
-	tasks    []rowTask[R]
+	tasks    []rowTask[R, Row]
 	pendRows []int32
 	pendLo   []int32
 	loArena  []int32
@@ -330,31 +437,27 @@ type run[R any] struct {
 	actMinB  []int32
 	actNodes []int32
 	certStmp []int32
-	seenRows [][]R // ring-reclaim dedup scratch
+	seenRows []Row   // ring-reclaim dedup scratch
+	cws      []colWS // columnar per-worker scratch (nil on the interface path)
 }
 
-func (r *run[R]) newRow(n int) []R {
+func (r *run[R, Row]) newRow(n int) Row {
 	if l := len(r.freeRows); l > 0 {
 		row := r.freeRows[l-1]
 		r.freeRows = r.freeRows[:l-1]
 		return row
 	}
-	if len(r.rowSlab) < n {
-		r.rowSlab = make([]R, slabRows*n)
-	}
-	row := r.rowSlab[:n:n]
-	r.rowSlab = r.rowSlab[n:]
-	return row
+	return r.slab.carve(n)
 }
 
-func (r *run[R]) newHeader(n int) snapshot[R] {
+func (r *run[R, Row]) newHeader(n int) []Row {
 	if l := len(r.freeHdrs); l > 0 {
 		h := r.freeHdrs[l-1]
 		r.freeHdrs = r.freeHdrs[:l-1]
 		return h[:n]
 	}
 	if len(r.hdrSlab) < n {
-		r.hdrSlab = make([][]R, slabRows*n)
+		r.hdrSlab = make([]Row, slabRows*n)
 	}
 	h := r.hdrSlab[:n:n]
 	r.hdrSlab = r.hdrSlab[n:]
@@ -363,7 +466,7 @@ func (r *run[R]) newHeader(n int) snapshot[R] {
 
 // put publishes the state at time t, evicting — and recycling — whatever
 // ages out of the ring.
-func (r *run[R]) put(t int, s snapshot[R]) {
+func (r *run[R, Row]) put(t int, s []Row) {
 	if r.window < 0 {
 		r.all = append(r.all, s)
 		return
@@ -377,7 +480,7 @@ func (r *run[R]) put(t int, s snapshot[R]) {
 		// reused.
 		next := r.ring[(t-r.window)%size]
 		for i, row := range old {
-			if len(row) > 0 && &row[0] != &next[i][0] {
+			if !r.ops.emptyRow(row) && !r.ops.sameRow(row, next[i]) {
 				r.freeRows = append(r.freeRows, row)
 				r.stats.RowsRecycled++
 			}
@@ -388,7 +491,7 @@ func (r *run[R]) put(t int, s snapshot[R]) {
 }
 
 // at resolves a β lookup: the state at time b, read while computing time t.
-func (r *run[R]) at(t, b int) snapshot[R] {
+func (r *run[R, Row]) at(t, b int) []Row {
 	if b < 0 || b >= t {
 		panic(fmt.Sprintf("engine: β lookup at time %d resolves to %d, violating S2", t, b))
 	}
@@ -407,50 +510,58 @@ func (r *run[R]) at(t, b int) snapshot[R] {
 // history ring, row slabs and change-tracking matrices reset and reused)
 // when interning is on, a fresh one otherwise. Keep-everything histories
 // always get fresh backing — they escape into the Result.
-func (e *Engine[R]) acquireRun(n, window, T int) *run[R] {
-	var r *run[R]
+func acquireRun[R, Row any](e *Engine[R], ops rowOps[R, Row], n, window, T int) *run[R, Row] {
+	var r *run[R, Row]
 	if e.interning {
-		e.mu.Lock()
-		r, e.spare = e.spare, nil
-		e.mu.Unlock()
+		r = ops.takeSpare()
 	}
 	if r == nil {
-		r = &run[R]{}
+		r = &run[R, Row]{}
 	}
+	r.ops = ops
+	if r.slab == nil {
+		r.slab = ops.newSlab()
+	}
+	ops.prepare(r, n)
 	r.window = window
 	r.stats = Stats{}
 	if window >= 0 {
 		if len(r.ring) != window+1 {
-			r.ring = make([]snapshot[R], window+1)
+			r.ring = make([][]Row, window+1)
 		}
 		r.all = nil
 	} else {
-		r.all = make([]snapshot[R], 0, T+1)
+		r.all = make([][]Row, 0, T+1)
 	}
 	if e.incremental {
 		if r.inc == nil {
 			wper := (n + 63) / 64
 			r.inc = &incShared{
 				n: n, ver: make([]int32, n*n),
-				wordMax: make([]int32, n*wper), wper: wper,
-				scratch: make([]workerScratch, e.workers),
+				wordMax:   make([]int32, n*wper), wper: wper,
+				rowMax:    make([]int32, n),
+				hist:      make([]uint64, n*histH*wper),
+				histStamp: make([]int32, n*histH),
+				scratch:   make([]workerScratch, e.workers),
 			}
 			for w, b := range matrix.NewBitsets(e.workers, n) {
 				r.inc.scratch[w].cols = b
 			}
-			r.rowMax = make([]int32, n)
 			r.lastComp = make([]int32, n)
 			r.lastRead = make([]int32, n*n)
 			r.chg = matrix.NewBitsets(n, n)
 		} else {
 			clear(r.inc.ver)
 			clear(r.inc.wordMax)
+			clear(r.inc.rowMax)
+			clear(r.inc.histStamp)
 			clear(r.lastRead)
-			clear(r.rowMax)
 			r.inc.cells.Store(0)
 			// r.chg is clear: the serial fold clears every set bitset
-			// before the run that pooled this scratch returned.
+			// before the run that pooled this scratch returned. hist needs
+			// no clearing — stale slots fail their stamp check.
 		}
+		r.inc.top = 0
 		for i := range r.lastComp {
 			r.lastComp[i] = -1
 		}
@@ -459,7 +570,7 @@ func (e *Engine[R]) acquireRun(n, window, T int) *run[R] {
 		r.actives = make([]int, 0, n)
 	}
 	if len(r.tabs) != n {
-		r.tabs = make([]snapshot[R], n)
+		r.tabs = make([][]Row, n)
 	}
 	if cap(r.pendRows) < n {
 		r.pendRows = make([]int32, 0, n)
@@ -473,10 +584,11 @@ func (e *Engine[R]) acquireRun(n, window, T int) *run[R] {
 // contiguous in time, so the distinct rows of one node across the ring
 // are found by a pointer scan; everything reclaimed here feeds the next
 // run's newRow/newHeader without touching the allocator.
-func (e *Engine[R]) releaseRun(r *run[R]) {
+func releaseRun[R, Row any](e *Engine[R], r *run[R, Row]) {
 	if !e.interning || r.window < 0 {
 		return
 	}
+	ops := r.ops
 	n := len(r.tabs)
 	seen := r.seenRows
 	for i := 0; i < n; i++ {
@@ -486,12 +598,12 @@ func (e *Engine[R]) releaseRun(r *run[R]) {
 				continue
 			}
 			row := s[i]
-			if len(row) == 0 {
+			if ops.emptyRow(row) {
 				continue
 			}
 			dup := false
 			for _, q := range seen {
-				if &q[0] == &row[0] {
+				if ops.sameRow(q, row) {
 					dup = true
 					break
 				}
@@ -514,11 +626,7 @@ func (e *Engine[R]) releaseRun(r *run[R]) {
 	// and the rowTask values lingering in the retained task backing.
 	r.adj = nil
 	clear(r.tasks[:cap(r.tasks)])
-	e.mu.Lock()
-	if e.spare == nil && !e.closed {
-		e.spare = r
-	}
-	e.mu.Unlock()
+	ops.putSpare(r)
 }
 
 // adjFor returns the adjacency a run evaluates through: when interning
@@ -595,7 +703,7 @@ func (e *Engine[R]) terminationFor(src Source) (bool, int) {
 // the run's retained buffers: node i's neighbours are
 // nbr[off[i]:off[i+1]]. Built per run because the dynamic-topology
 // experiments mutate adjacencies between runs.
-func (e *Engine[R]) neighbours(r *run[R]) (nbr []int32, off []int32) {
+func neighbours[R, Row any](e *Engine[R], r *run[R, Row]) (nbr []int32, off []int32) {
 	n := e.adj.N
 	if cap(r.nbrOff) < n+1 {
 		r.nbrOff = make([]int32, n+1)
@@ -618,6 +726,12 @@ func (e *Engine[R]) neighbours(r *run[R]) (nbr []int32, off []int32) {
 // Run evaluates δ from start over src and returns the result. The final
 // state is always available; the full history only when the run retained
 // it (KeepAll, or auto mode over an unbounded source).
+//
+// The evaluation itself happens in runLoop, generic over the row
+// representation: when the algebra packs (core.Columnar), the topology
+// compiles, and the run does not retain history, rows live as packed
+// struct-of-arrays lanes; otherwise as []R slices. Both paths are
+// bit-identical — in cells and in Stats.
 func (e *Engine[R]) Run(start *matrix.State[R], src Source) *Result[R] {
 	n := src.Nodes()
 	if n != e.adj.N {
@@ -645,14 +759,26 @@ func (e *Engine[R]) Run(start *matrix.State[R], src Source) *Result[R] {
 		doTerm = false
 	}
 	T := src.Horizon()
-	r := e.acquireRun(n, window, T)
-	nbr, nbrOff := e.neighbours(r)
-	r.adj = e.adjFor()
+	if window >= 0 && e.interning && e.columnar {
+		// Keep-everything runs stay on the interface path: their
+		// snapshots escape into the Result, which hands out []R rows.
+		if cs := e.columnarFor(); cs != nil {
+			return runLoop(e, &colOps[R]{e: e, cs: cs}, start, src, n, window, T, doTerm, fairP)
+		}
+	}
+	return runLoop(e, genOps[R]{e: e}, start, src, n, window, T, doTerm, fairP)
+}
+
+// runLoop is the evaluation loop shared by every row representation.
+func runLoop[R, Row any](e *Engine[R], ops rowOps[R, Row], start *matrix.State[R], src Source, n, window, T int, doTerm bool, fairP int) *Result[R] {
+	r := acquireRun(e, ops, n, window, T)
+	nbr, nbrOff := neighbours(e, r)
+	r.adj = ops.adjFor()
 
 	s0 := r.newHeader(n)
 	for i := range s0 {
 		row := r.newRow(n)
-		copy(row, start.RowView(i))
+		ops.encodeRow(row, start.RowView(i))
 		s0[i] = row
 	}
 	r.put(0, s0)
@@ -754,7 +880,7 @@ func (e *Engine[R]) Run(start *matrix.State[R], src Source) *Result[R] {
 							lo = b0
 						}
 						loArena = append(loArena, int32(lo))
-						if int(r.rowMax[k]) > lo {
+						if int(r.inc.rowMax[k]) > lo {
 							skip = false
 						}
 					}
@@ -832,7 +958,7 @@ func (e *Engine[R]) Run(start *matrix.State[R], src Source) *Result[R] {
 					dst := cur[i]
 					var (
 						incp    *incShared
-						prevRow []R
+						prevRow Row
 						lo      []int32
 						chgI    *matrix.Bitset
 					)
@@ -845,19 +971,20 @@ func (e *Engine[R]) Run(start *matrix.State[R], src Source) *Result[R] {
 						}
 					}
 					for s := 0; s < shards; s++ {
-						tasks = append(tasks, rowTask[R]{
+						tasks = append(tasks, rowTask[R, Row]{
 							i: i, j0: s * n / shards, j1: (s + 1) * n / shards,
 							adj: r.adj, tabs: tb, dst: dst,
 							inc: incp, prev: prevRow, nbr: nb, lo: lo, chg: chgI,
 						})
 					}
 				}
-				e.exec(tasks, stepOps)
+				exec(e, ops, tasks, stepOps)
 			}
 			r.stats.RowsComputed += len(pendRows)
 
 			// Serial fold: publish this step's changed-destination sets
-			// into the last-changed matrix and the global dirty frontier.
+			// into the last-changed matrix, the change-mask ring, and the
+			// global dirty frontier.
 			if e.incremental {
 				for _, fi := range pendRows {
 					i := int(fi)
@@ -865,7 +992,12 @@ func (e *Engine[R]) Run(start *matrix.State[R], src Source) *Result[R] {
 					wbase := i * r.inc.wper
 					chgI := &r.chg[i]
 					if !chgI.Empty() {
+						slot := i*histH + t&(histH-1)
+						hb := r.inc.hist[slot*r.inc.wper : (slot+1)*r.inc.wper]
+						clear(hb)
+						r.inc.histStamp[slot] = int32(t)
 						chgI.ForEachWord(func(wi int, w uint64) {
+							hb[wi] = w
 							r.inc.wordMax[wbase+wi] = int32(t)
 							jb := base + wi<<6
 							for w != 0 {
@@ -873,11 +1005,12 @@ func (e *Engine[R]) Run(start *matrix.State[R], src Source) *Result[R] {
 								w &= w - 1
 							}
 						})
-						r.rowMax[i] = int32(t)
+						r.inc.rowMax[i] = int32(t)
 						stepChanged = true
 						chgI.Clear()
 					}
 				}
+				r.inc.top = int32(t)
 			}
 		}
 		r.put(t, cur)
@@ -930,9 +1063,9 @@ func (e *Engine[R]) Run(start *matrix.State[R], src Source) *Result[R] {
 			}
 		}
 	}
-	res := &Result[R]{alg: e.alg, horizon: steps, final: materialise(e.alg, prev), stats: r.stats}
+	res := &Result[R]{alg: e.alg, horizon: steps, final: ops.materialise(prev), stats: r.stats}
 	if window < 0 {
-		res.snaps = r.all
+		ops.retain(res, r.all)
 	}
 	// Hand any backing a loop may have grown back to the run, then return
 	// the scratch to the pool for the next run.
@@ -944,7 +1077,7 @@ func (e *Engine[R]) Run(start *matrix.State[R], src Source) *Result[R] {
 	if doTerm {
 		r.actMinB, r.actNodes = actMinB[:0], actNodes[:0]
 	}
-	e.releaseRun(r)
+	releaseRun(e, r)
 	return res
 }
 
@@ -971,11 +1104,50 @@ func (e *Engine[R]) shardsFor(actives, n int) int {
 	return shards
 }
 
-// runTask executes one row task on behalf of the given worker. Untracked
-// tasks run the plain kernel; tracked tasks resolve their span's dirty
-// columns from the last-changed matrix, recompute only those, and record
-// which moved.
-func (e *Engine[R]) runTask(tk rowTask[R], worker int) {
+// genOps is the []R row representation: the interface evaluation path.
+type genOps[R any] struct{ e *Engine[R] }
+
+func (o genOps[R]) takeSpare() *run[R, []R] {
+	e := o.e
+	e.mu.Lock()
+	r := e.spareG
+	e.spareG = nil
+	e.mu.Unlock()
+	return r
+}
+
+func (o genOps[R]) putSpare(r *run[R, []R]) {
+	e := o.e
+	e.mu.Lock()
+	if e.spareG == nil && !e.closed {
+		e.spareG = r
+	}
+	e.mu.Unlock()
+}
+
+func (genOps[R]) newSlab() rowSlab[[]R] { return &genSlab[R]{} }
+
+func (genOps[R]) prepare(*run[R, []R], int) {}
+
+func (o genOps[R]) adjFor() *matrix.Adjacency[R] { return o.e.adjFor() }
+
+func (genOps[R]) encodeRow(dst, src []R) { copy(dst, src) }
+
+func (genOps[R]) copySpan(dst, src []R, j0, j1 int) { copy(dst[j0:j1], src[j0:j1]) }
+
+func (genOps[R]) emptyRow(a []R) bool { return len(a) == 0 }
+
+func (genOps[R]) sameRow(a, b []R) bool { return &a[0] == &b[0] }
+
+func (o genOps[R]) materialise(s [][]R) *matrix.State[R] { return materialise(o.e.alg, s) }
+
+func (genOps[R]) retain(res *Result[R], all [][][]R) { res.snaps = all }
+
+// runTask executes one row task. Untracked tasks run the plain kernel;
+// tracked tasks resolve their span's dirty columns from the last-changed
+// matrix, recompute only those, and record which moved.
+func (o genOps[R]) runTask(tk *rowTask[R, []R], worker int) {
+	e := o.e
 	if tk.inc == nil {
 		matrix.SigmaSpanIntoNbr(e.alg, tk.adj, tk.i, tk.nbr, tk.tabs, tk.dst, tk.j0, tk.j1)
 		return
@@ -987,56 +1159,13 @@ func (e *Engine[R]) runTask(tk rowTask[R], worker int) {
 		tk.inc.cells.Add(int64(computed))
 		return
 	}
-	// Resolve the span's dirty columns from the last-changed matrix.
-	// The word-granular summary goes first: a word none of the
-	// neighbours touched since the row's thresholds is 64 clean columns
-	// for deg compares. Within a live word the scan is column-outer with
-	// an early break: once one neighbour marks a column dirty the rest
-	// need not be consulted.
-	n := tk.inc.n
-	wper := tk.inc.wper
 	ws := &tk.inc.scratch[worker]
-	rows := ws.rows[:0]
-	wmax := ws.wmax[:0]
-	for _, k32 := range tk.nbr {
-		k := int(k32)
-		rows = append(rows, tk.inc.ver[k*n:(k+1)*n])
-		wmax = append(wmax, tk.inc.wordMax[k*wper:(k+1)*wper])
-	}
-	ws.rows, ws.wmax = rows, wmax
-	cols := &ws.cols
-	lo := tk.lo
-	dirtyCnt := 0
-	for wi := tk.j0 >> 6; wi <= (tk.j1-1)>>6; wi++ {
-		var m uint64
-		live := false
-		for ai := range wmax {
-			if wmax[ai][wi] > lo[ai] {
-				live = true
-				break
-			}
-		}
-		if live {
-			jhi := wi<<6 + 64
-			if jhi > tk.j1 {
-				jhi = tk.j1
-			}
-			for j := max(tk.j0, wi<<6); j < jhi; j++ {
-				for ai := range rows {
-					if rows[ai][j] > lo[ai] {
-						m |= 1 << (j & 63)
-						dirtyCnt++
-						break
-					}
-				}
-			}
-		}
-		cols.StoreWord(wi, m)
-	}
+	dirtyCnt := resolveDirty(tk.inc, tk.nbr, tk.lo, tk.j0, tk.j1, ws)
 	if dirtyCnt == 0 {
 		copy(tk.dst[tk.j0:tk.j1], tk.prev[tk.j0:tk.j1])
 		return
 	}
+	cols := &ws.cols
 	if dirtyCnt == tk.j1-tk.j0 {
 		// Everything changed: the dense kernel's tight loops beat the
 		// bit-iterating sparse path.
@@ -1046,13 +1175,133 @@ func (e *Engine[R]) runTask(tk rowTask[R], worker int) {
 	tk.inc.cells.Add(int64(computed))
 }
 
+// dirtyMasks computes the span's dirty-column set — the destinations
+// whose β-resolved inputs changed since the row's thresholds — as one
+// mask word per 64 columns (masks[x] covers word j0>>6 + x), returning
+// the masks and the dirty count. The scan prunes at three granularities
+// before touching a single per-column stamp: a neighbour whose whole row
+// is clean since its threshold (rowMax) is dropped up front, a clean
+// 64-column word costs one compare (wordMax), and a word already fully
+// dirty from an earlier neighbour is skipped — change wavefronts make
+// full words common. Both resolveDirty and resolveDirtySel emit exactly
+// this set, so the interface and columnar paths have identical Stats by
+// construction.
+func dirtyMasks(inc *incShared, nbr, lo []int32, j0, j1 int, ws *workerScratch) ([]uint64, int) {
+	n := inc.n
+	wper := inc.wper
+	top := int(inc.top)
+	w0 := j0 >> 6
+	nw := (j1-1)>>6 - w0 + 1
+	if cap(ws.masks) < nw {
+		ws.masks = make([]uint64, wper)
+	}
+	masks := ws.masks[:nw]
+	clear(masks)
+	for ai, k32 := range nbr {
+		k := int(k32)
+		l := int(lo[ai])
+		if int(inc.rowMax[k]) <= l {
+			continue
+		}
+		if l >= top-histH {
+			// The threshold is within the mask ring: the dirty set is the
+			// union of this neighbour's change masks over (l, top] — a
+			// stamp check and at most nw ORs per step in the window.
+			stampRow := inc.histStamp[k*histH : (k+1)*histH]
+			histRow := inc.hist[k*histH*wper : (k+1)*histH*wper]
+			for s := l + 1; s <= top; s++ {
+				sl := s & (histH - 1)
+				if stampRow[sl] != int32(s) {
+					continue
+				}
+				hb := histRow[sl*wper+w0 : sl*wper+w0+nw]
+				for x, h := range hb {
+					masks[x] |= h
+				}
+			}
+			continue
+		}
+		// Threshold older than the ring: exact per-column scan against
+		// ver, one 64-column word at a time, skipping words the summary
+		// proves clean and words already fully dirty.
+		row := inc.ver[k*n : (k+1)*n]
+		wm := inc.wordMax[k*wper : (k+1)*wper]
+		l32 := lo[ai]
+		for wi := w0; wi < w0+nw; wi++ {
+			if wm[wi] <= l32 {
+				continue
+			}
+			jlo := wi << 6
+			base := 0
+			if jlo < j0 {
+				base = j0 & 63
+				jlo = j0
+			}
+			jhi := wi<<6 + 64
+			if jhi > j1 {
+				jhi = j1
+			}
+			full := (^uint64(0) >> (64 - (jhi - jlo))) << base
+			m := masks[wi-w0]
+			if m == full {
+				continue
+			}
+			for x, v := range row[jlo:jhi] {
+				if v > l32 {
+					m |= 1 << (base + x)
+				}
+			}
+			masks[wi-w0] = m
+		}
+	}
+	// The ring path ORs whole 64-column words; trim the span's ragged
+	// edges before counting (scan-path bits are already in-span).
+	if b := j0 & 63; b != 0 {
+		masks[0] &^= 1<<b - 1
+	}
+	if b := j1 & 63; b != 0 {
+		masks[nw-1] &= 1<<b - 1
+	}
+	dirtyCnt := 0
+	for _, m := range masks {
+		dirtyCnt += bits.OnesCount64(m)
+	}
+	return masks, dirtyCnt
+}
+
+// resolveDirty writes the span's dirty-column set into ws.cols and
+// returns the dirty count (the interface path's form).
+func resolveDirty(inc *incShared, nbr, lo []int32, j0, j1 int, ws *workerScratch) int {
+	masks, dirtyCnt := dirtyMasks(inc, nbr, lo, j0, j1, ws)
+	w0 := j0 >> 6
+	for x, m := range masks {
+		ws.cols.StoreWord(w0+x, m)
+	}
+	return dirtyCnt
+}
+
+// resolveDirtySel appends the span's dirty columns to sel in ascending
+// order (the selection vector the columnar kernels iterate).
+func resolveDirtySel(inc *incShared, nbr, lo []int32, j0, j1 int, ws *workerScratch, sel []int32) []int32 {
+	masks, _ := dirtyMasks(inc, nbr, lo, j0, j1, ws)
+	w0 := j0 >> 6
+	for x, m := range masks {
+		jb := (w0 + x) << 6
+		for m != 0 {
+			sel = append(sel, int32(jb+bits.TrailingZeros64(m)))
+			m &= m - 1
+		}
+	}
+	return sel
+}
+
 // exec runs the step's row tasks, across the pool when the step is big
 // enough to pay for the fan-out. Tasks write disjoint spans, so the
 // merge is a no-op and the result is bit-identical to sequential order.
-func (e *Engine[R]) exec(tasks []rowTask[R], ops int) {
-	if e.workers <= 1 || len(tasks) == 1 || ops < minParallelOps {
-		for _, tk := range tasks {
-			e.runTask(tk, 0)
+func exec[R, Row any](e *Engine[R], ops rowOps[R, Row], tasks []rowTask[R, Row], stepOps int) {
+	if e.workers <= 1 || len(tasks) == 1 || stepOps < minParallelOps {
+		for i := range tasks {
+			ops.runTask(&tasks[i], 0)
 		}
 		return
 	}
@@ -1061,12 +1310,12 @@ func (e *Engine[R]) exec(tasks []rowTask[R], ops int) {
 		want = len(tasks)
 	}
 	e.pool.do(want, len(tasks), func(idx, worker int) {
-		e.runTask(tasks[idx], worker)
+		ops.runTask(&tasks[idx], worker)
 	})
 }
 
 // materialise copies a snapshot into a standalone matrix.State.
-func materialise[R any](alg core.Algebra[R], s snapshot[R]) *matrix.State[R] {
+func materialise[R any](alg core.Algebra[R], s [][]R) *matrix.State[R] {
 	st := matrix.NewState(len(s), alg.Invalid())
 	for i, row := range s {
 		st.SetRow(i, row)
@@ -1087,14 +1336,14 @@ func (e *Engine[R]) SigmaInto(x, out *matrix.State[R]) {
 	n := x.N
 	tabs := x.RowViews()
 	shards := e.shardsFor(n, n)
-	tasks := make([]rowTask[R], 0, n*shards)
+	tasks := make([]rowTask[R, []R], 0, n*shards)
 	for i := 0; i < n; i++ {
 		dst := out.RowView(i)
 		for s := 0; s < shards; s++ {
-			tasks = append(tasks, rowTask[R]{i: i, j0: s * n / shards, j1: (s + 1) * n / shards, adj: e.adj, tabs: tabs, dst: dst})
+			tasks = append(tasks, rowTask[R, []R]{i: i, j0: s * n / shards, j1: (s + 1) * n / shards, adj: e.adj, tabs: tabs, dst: dst})
 		}
 	}
-	e.exec(tasks, n*n*n)
+	exec(e, genOps[R]{e: e}, tasks, n*n*n)
 }
 
 // FixedPoint iterates σ from start until a fixed point or maxRounds, the

@@ -13,7 +13,7 @@ type Result[R any] struct {
 	alg     core.Algebra[R]
 	horizon int
 	final   *matrix.State[R]
-	snaps   []snapshot[R] // non-nil only when history was retained
+	snaps   [][][]R // non-nil only when history was retained
 	stats   Stats
 }
 

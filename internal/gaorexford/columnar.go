@@ -1,0 +1,60 @@
+package gaorexford
+
+import "repro/internal/core"
+
+// Metric packing for the Gao–Rexford carrier: a clamped route packs as
+// Class in the high word and Hops in the low word, so unsigned order is
+// exactly the lexicographic (class, hops) preference and the invalid
+// class None packs strictly above every valid route. With this packer the
+// interned lift Algebra.Interned gains the full core.Columnar capability
+// through pathalg: gao-rexford convergence runs on the packed lanes.
+
+// PackMetric implements core.MetricPacker. Packing clamps, so the packed
+// form is canonical for Equal (which also clamps).
+func (g Algebra) PackMetric(r Route) uint64 {
+	r = g.clamp(r)
+	return uint64(r.Class)<<32 | uint64(r.Hops)
+}
+
+// UnpackMetric implements core.MetricPacker.
+func (Algebra) UnpackMetric(m uint64) Route {
+	return Route{Class: Class(m >> 32), Hops: uint32(m)}
+}
+
+// CompileMetricEdge implements core.MetricPacker for the relationship
+// edges (including the Section 8.2 violating edge — compilation cares
+// about representation, not about the increasing property).
+func (g Algebra) CompileMetricEdge(e core.Edge[Route]) core.MetricFn {
+	invM := g.PackMetric(Invalid)
+	max := g.MaxHops
+	switch ed := e.(type) {
+	case relEdge:
+		rel := ed.rel
+		cls := uint64(classAtReceiver(rel)) << 32
+		exportAll := rel != CustomerEdge && rel != PeerEdge
+		return func(m uint64) uint64 {
+			c := Class(m >> 32)
+			if c == None || !(exportAll || c == Own || c == FromCustomer) {
+				return invM
+			}
+			nh := uint32(m) + 1
+			if max > 0 && nh > max {
+				return invM
+			}
+			return cls | uint64(nh)
+		}
+	case violEdge:
+		cls := uint64(FromCustomer) << 32
+		return func(m uint64) uint64 {
+			if Class(m>>32) == None {
+				return invM
+			}
+			nh := uint32(m) + 1
+			if max > 0 && nh > max {
+				return invM
+			}
+			return cls | uint64(nh)
+		}
+	}
+	return nil
+}

@@ -210,16 +210,31 @@ func classAtReceiver(rel Relationship) Class {
 	}
 }
 
-// Edge builds the Gao–Rexford edge weight for relationship rel.
+// Edge builds the Gao–Rexford edge weight for relationship rel. The
+// returned edge is a named type so the columnar backend can compile it;
+// behaviour and label are unchanged.
 func (g Algebra) Edge(rel Relationship) core.Edge[Route] {
-	return core.Fn[Route](rel.String(), func(r Route) Route {
-		r = g.clamp(r)
-		if r.Class == None || !exportAllowed(rel, r) {
-			return Invalid
-		}
-		return g.clamp(Route{Class: classAtReceiver(rel), Hops: r.Hops + 1})
-	})
+	return relEdge{g: g, rel: rel}
 }
+
+// relEdge is the compiled-recognisable form of Edge.
+type relEdge struct {
+	g   Algebra
+	rel Relationship
+}
+
+// Apply implements core.Edge: export filter, then reclassify and count
+// the hop.
+func (e relEdge) Apply(r Route) Route {
+	r = e.g.clamp(r)
+	if r.Class == None || !exportAllowed(e.rel, r) {
+		return Invalid
+	}
+	return e.g.clamp(Route{Class: classAtReceiver(e.rel), Hops: r.Hops + 1})
+}
+
+// Label implements core.Edge.
+func (e relEdge) Label() string { return e.rel.String() }
 
 // ViolatingEdge models the "hidden local preference" hazard of Section
 // 8.2: an AS that imports provider routes as if they were customer-learned
@@ -228,14 +243,23 @@ func (g Algebra) Edge(rel Relationship) core.Edge[Route] {
 // increasing condition; experiment E9 demonstrates the checkers catching
 // it.
 func (g Algebra) ViolatingEdge() core.Edge[Route] {
-	return core.Fn[Route]("prov→(lpref-override)", func(r Route) Route {
-		r = g.clamp(r)
-		if r.Class == None {
-			return Invalid
-		}
-		return g.clamp(Route{Class: FromCustomer, Hops: r.Hops + 1})
-	})
+	return violEdge{g: g}
 }
+
+// violEdge is the compiled-recognisable form of ViolatingEdge.
+type violEdge struct{ g Algebra }
+
+// Apply implements core.Edge.
+func (e violEdge) Apply(r Route) Route {
+	r = e.g.clamp(r)
+	if r.Class == None {
+		return Invalid
+	}
+	return e.g.clamp(Route{Class: FromCustomer, Hops: r.Hops + 1})
+}
+
+// Label implements core.Edge.
+func (violEdge) Label() string { return "prov→(lpref-override)" }
 
 // Edges returns one edge of each relationship, the canonical F-sample for
 // property checking.

@@ -1,0 +1,317 @@
+package matrix
+
+import (
+	"repro/internal/core"
+	"repro/internal/paths"
+)
+
+// Columnar σ evaluation. A routing table row becomes a pair of packed
+// lanes (core.Col): a contiguous []paths.PathID and a contiguous []uint64
+// metric lane, W words per destination. SigmaColSpanChanged below is the
+// struct-of-arrays analogue of SigmaSpanIntoChangedNbr: same dirty-column
+// contract, same computed-count semantics, same diagonal handling — but
+// the per-neighbour fold runs through compiled core.ColKernels that scan
+// the lanes monomorphically, and change detection compares packed words
+// instead of calling an equality function per cell.
+
+// ColMeta describes the packed-cell geometry of one columnar algebra:
+// metric width, whether cells carry a path-id lane, and the packed images
+// of the invalid and trivial routes (the fold identity and the diagonal).
+type ColMeta struct {
+	W     int
+	HasID bool
+	InvID paths.PathID
+	TrvID paths.PathID
+	InvM  []uint64 // W words
+	TrvM  []uint64 // W words
+}
+
+// ColMetaOf derives the packed geometry of alg from its Columnar
+// capability by encoding the invalid and trivial routes once.
+func ColMetaOf[R any](alg core.Algebra[R], c core.Columnar[R]) *ColMeta {
+	w := c.MetricWords()
+	m := &ColMeta{W: w, HasID: c.HasPathLane(), InvM: make([]uint64, w), TrvM: make([]uint64, w)}
+	one := core.Col{M: m.InvM}
+	var ids [1]paths.PathID
+	if m.HasID {
+		one.ID = ids[:]
+	}
+	c.EncodeCol([]R{alg.Invalid()}, one)
+	m.InvID = ids[0]
+	one.M = m.TrvM
+	c.EncodeCol([]R{alg.Trivial()}, one)
+	m.TrvID = ids[0]
+	return m
+}
+
+// ColSlab carves packed lanes out of large shared blocks, the columnar
+// analogue of the engine's row slabs: rows allocated together sit
+// adjacent in one arena, so a shard worker sweeping its rows scans
+// contiguous memory, and per-row allocations disappear from the steady
+// state (the engine pools the slab with its run scratch).
+type ColSlab struct {
+	W     int
+	HasID bool
+	ids   []paths.PathID
+	ms    []uint64
+}
+
+// NewColSlab returns an empty slab for lanes of metric width w.
+func NewColSlab(w int, hasID bool) *ColSlab {
+	return &ColSlab{W: w, HasID: hasID}
+}
+
+// Alloc carves one n-cell row off the slab, reserving reserveRows rows of
+// backing store whenever the current block runs out.
+func (s *ColSlab) Alloc(n, reserveRows int) core.Col {
+	if reserveRows < 1 {
+		reserveRows = 1
+	}
+	var row core.Col
+	if s.HasID {
+		if len(s.ids) < n {
+			s.ids = make([]paths.PathID, n*reserveRows)
+		}
+		row.ID = s.ids[:n:n]
+		s.ids = s.ids[n:]
+	}
+	nw := n * s.W
+	if len(s.ms) < nw {
+		s.ms = make([]uint64, nw*reserveRows)
+	}
+	row.M = s.ms[:nw:nw]
+	s.ms = s.ms[nw:]
+	return row
+}
+
+// ColumnarState is a whole routing state in packed form: row i of the
+// matrix is Rows[i], an n-cell core.Col. It exists for conversion at run
+// boundaries and for the differential tests; the engine builds its hot
+// lanes from pooled ColSlabs instead.
+type ColumnarState struct {
+	N     int
+	W     int
+	HasID bool
+	Rows  []core.Col
+}
+
+// NewColumnarState allocates an all-zero packed state with the geometry
+// of c (every row carved from one slab).
+func NewColumnarState[R any](c core.Columnar[R], n int) *ColumnarState {
+	cs := &ColumnarState{N: n, W: c.MetricWords(), HasID: c.HasPathLane(), Rows: make([]core.Col, n)}
+	slab := NewColSlab(cs.W, cs.HasID)
+	for i := range cs.Rows {
+		cs.Rows[i] = slab.Alloc(n, n)
+	}
+	return cs
+}
+
+// EncodeColumnar packs s into a fresh ColumnarState via c's batch encoder.
+func EncodeColumnar[R any](c core.Columnar[R], s *State[R]) *ColumnarState {
+	cs := NewColumnarState(c, s.N)
+	for i := 0; i < s.N; i++ {
+		c.EncodeCol(s.RowView(i), cs.Rows[i])
+	}
+	return cs
+}
+
+// DecodeColumnar unpacks cs back into a reference state.
+func DecodeColumnar[R any](c core.Columnar[R], cs *ColumnarState) *State[R] {
+	var zero R
+	s := NewState[R](cs.N, zero)
+	for i := 0; i < cs.N; i++ {
+		c.DecodeCol(cs.Rows[i], s.RowView(i))
+	}
+	return s
+}
+
+// SigmaColSpanChanged computes node i's σ-row over the span [j0, j1) of
+// the packed lanes, the columnar twin of SigmaSpanIntoChangedNbr:
+//
+//   - kern[x] is the compiled kernel of the edge (i, nbr[x]) and tabs is
+//     indexed by absolute neighbour id — tabs[nbr[x]] is the packed table
+//     node i currently sees from neighbour x.
+//   - sel, when non-nil, holds the ascending absolute indices of the
+//     dirty columns within the span; every other column is copied from
+//     prev. A nil sel recomputes the whole span (the dense form taken
+//     when every column is dirty or the run is not incremental).
+//   - changed, when non-nil, receives the columns whose packed cells
+//     differ from prev — one atomic word OR per 64 columns, with cell
+//     equality a plain word compare thanks to the canonical packing.
+//
+// Fold order across neighbours matches the generic kernel (slice order),
+// and the diagonal is overwritten with the trivial cell after the fold,
+// so results are bit-identical to the interface path. Returns the number
+// of columns recomputed — len(sel), or the span width when dense.
+func SigmaColSpanChanged(
+	meta *ColMeta, i int, nbr []int32, kern []core.ColKernel, tabs []core.Col,
+	prev, dst core.Col, j0, j1 int, sel []int32, changed *Bitset,
+	scratch *core.ColScratch,
+) int {
+	w := meta.W
+	if sel != nil {
+		// Unchanged columns keep their previous cells; dirty ones restart
+		// from the fold identity ∞.
+		if meta.HasID {
+			copy(dst.ID[j0:j1], prev.ID[j0:j1])
+		}
+		copy(dst.M[j0*w:j1*w], prev.M[j0*w:j1*w])
+		if w == 1 && !meta.HasID {
+			inv, dm := meta.InvM[0], dst.M
+			for _, j := range sel {
+				dm[j] = inv
+			}
+		} else {
+			for _, j := range sel {
+				setCell(meta, dst, int(j), meta.InvID, meta.InvM)
+			}
+		}
+	} else if w == 1 && !meta.HasID {
+		inv, dm := meta.InvM[0], dst.M[j0:j1]
+		for x := range dm {
+			dm[x] = inv
+		}
+	} else {
+		for j := j0; j < j1; j++ {
+			setCell(meta, dst, j, meta.InvID, meta.InvM)
+		}
+	}
+	for x, k := range kern {
+		k(dst, tabs[nbr[x]], sel, j0, j1, scratch)
+	}
+	if j0 <= i && i < j1 {
+		if sel == nil {
+			setCell(meta, dst, i, meta.TrvID, meta.TrvM)
+		} else if selHas(sel, int32(i)) {
+			setCell(meta, dst, i, meta.TrvID, meta.TrvM)
+		}
+	}
+	if changed != nil {
+		recordColChanged(meta, prev, dst, j0, j1, sel, changed)
+	}
+	if sel != nil {
+		return len(sel)
+	}
+	return j1 - j0
+}
+
+// AppendSpan appends the set columns of b within [j0, j1) to sel in
+// ascending order, returning the extended slice. The columnar driver uses
+// it to materialise a dirty-column bitset into the selection vector the
+// compiled kernels iterate.
+func (b *Bitset) AppendSpan(sel []int32, j0, j1 int) []int32 {
+	forSpan(b, j0, j1, func(j int) { sel = append(sel, int32(j)) })
+	return sel
+}
+
+// setCell writes one packed cell (id, W metric words) into row at column j.
+func setCell(meta *ColMeta, row core.Col, j int, id paths.PathID, m []uint64) {
+	if meta.HasID {
+		row.ID[j] = id
+	}
+	if meta.W == 1 {
+		row.M[j] = m[0]
+	} else {
+		copy(row.M[j*meta.W:(j+1)*meta.W], m)
+	}
+}
+
+// selHas reports whether the ascending selection contains j.
+func selHas(sel []int32, j int32) bool {
+	lo, hi := 0, len(sel)
+	for lo < hi {
+		mid := (lo + hi) >> 1
+		if sel[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(sel) && sel[lo] == j
+}
+
+// recordColChanged flushes the selected columns whose packed cells differ
+// between prev and dst into changed, one atomic OR per word — the packed
+// twin of recordChanged, with the equality function replaced by word
+// compares.
+func recordColChanged(meta *ColMeta, prev, dst core.Col, j0, j1 int, sel []int32, changed *Bitset) {
+	var mask uint64
+	word := -1
+	w := meta.W
+	pm, dm := prev.M, dst.M
+	if sel == nil {
+		if w == 1 && !meta.HasID {
+			pm2, dm2 := pm[j0:j1], dm[j0:j1]
+			for x := range dm2 {
+				if pm2[x] != dm2[x] {
+					j := j0 + x
+					if wi := j >> 6; wi != word {
+						if mask != 0 {
+							changed.OrWord(word, mask)
+						}
+						word, mask = wi, 0
+					}
+					mask |= 1 << (j & 63)
+				}
+			}
+		} else {
+			for j := j0; j < j1; j++ {
+				if cellDiff(meta, prev, dst, pm, dm, j, w) {
+					if wi := j >> 6; wi != word {
+						if mask != 0 {
+							changed.OrWord(word, mask)
+						}
+						word, mask = wi, 0
+					}
+					mask |= 1 << (j & 63)
+				}
+			}
+		}
+	} else if w == 1 && !meta.HasID {
+		for _, j32 := range sel {
+			j := int(j32)
+			if pm[j] != dm[j] {
+				if wi := j >> 6; wi != word {
+					if mask != 0 {
+						changed.OrWord(word, mask)
+					}
+					word, mask = wi, 0
+				}
+				mask |= 1 << (j & 63)
+			}
+		}
+	} else {
+		for _, j32 := range sel {
+			j := int(j32)
+			if cellDiff(meta, prev, dst, pm, dm, j, w) {
+				if wi := j >> 6; wi != word {
+					if mask != 0 {
+						changed.OrWord(word, mask)
+					}
+					word, mask = wi, 0
+				}
+				mask |= 1 << (j & 63)
+			}
+		}
+	}
+	if mask != 0 {
+		changed.OrWord(word, mask)
+	}
+}
+
+// cellDiff reports whether column j's packed cell differs between prev
+// and dst.
+func cellDiff(meta *ColMeta, prev, dst core.Col, pm, dm []uint64, j, w int) bool {
+	if meta.HasID && prev.ID[j] != dst.ID[j] {
+		return true
+	}
+	if w == 1 {
+		return pm[j] != dm[j]
+	}
+	for x := j * w; x < (j+1)*w; x++ {
+		if pm[x] != dm[x] {
+			return true
+		}
+	}
+	return false
+}

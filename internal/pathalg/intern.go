@@ -112,23 +112,41 @@ func (t *Interned[B]) Path(r IRoute[B]) paths.Path {
 // Tracked.Edge: extension and loop rejection run against the intern
 // table, so the steady state allocates nothing.
 func (t *Interned[B]) Edge(i, j int, base core.Edge[B]) core.Edge[IRoute[B]] {
-	name := fmt.Sprintf("(%d,%d)%s", i, j, base.Label())
-	return core.Fn[IRoute[B]](name, func(r IRoute[B]) IRoute[B] {
-		r = t.normalise(r)
-		if r.ID.IsInvalid() {
-			return t.Invalid()
-		}
-		id := t.Tab.Extend(r.ID, i, j)
-		if id.IsInvalid() {
-			return t.Invalid()
-		}
-		nb := base.Apply(r.Base)
-		if core.IsInvalid(t.Base, nb) {
-			return t.Invalid()
-		}
-		return IRoute[B]{Base: nb, ID: id}
-	})
+	return &arcEdge[B]{t: t, i: i, j: j, base: base,
+		name: fmt.Sprintf("(%d,%d)%s", i, j, base.Label())}
 }
+
+// arcEdge is the lifted edge weight of one arc as a named type, so the
+// columnar backend can recognise it and compile the batched kernel; its
+// behaviour and label match the previous closure form exactly.
+type arcEdge[B comparable] struct {
+	t    *Interned[B]
+	i, j int
+	base core.Edge[B]
+	name string
+}
+
+// Apply implements core.Edge: extend the path along (i, j), reject loops,
+// then apply the base edge weight.
+func (e *arcEdge[B]) Apply(r IRoute[B]) IRoute[B] {
+	t := e.t
+	r = t.normalise(r)
+	if r.ID.IsInvalid() {
+		return t.Invalid()
+	}
+	id := t.Tab.Extend(r.ID, e.i, e.j)
+	if id.IsInvalid() {
+		return t.Invalid()
+	}
+	nb := e.base.Apply(r.Base)
+	if core.IsInvalid(t.Base, nb) {
+		return t.Invalid()
+	}
+	return IRoute[B]{Base: nb, ID: id}
+}
+
+// Label implements core.Edge.
+func (e *arcEdge[B]) Label() string { return e.name }
 
 // LiftAdjacencyInterned converts an adjacency matrix over the base
 // algebra into one over the interned path algebra — the counterpart of

@@ -222,6 +222,80 @@ func (t *Table) Extend(p PathID, i, j int) PathID {
 	return id
 }
 
+// pendingID is an internal sentinel used by ExtendSel to mark cells whose
+// extension was not found under the read lock; it never escapes.
+const pendingID PathID = -2
+
+// ExtendSel is the batched form of Extend used by the columnar σ kernels:
+// it computes out[x] = Extend(src[x], i, j) for every selected column x —
+// the ascending absolute indices in sel, or all of [j0, j1) when sel is
+// nil — under a single read-lock acquisition. A convergence sweep extends
+// whole columns by the same arc, so the batch turns one lock round-trip
+// and one index probe per cell into one lock round-trip per (edge, span);
+// only genuinely new paths fall back to the write path, and paths are
+// immutable once interned, so the late re-probe inside Extend is safe.
+func (t *Table) ExtendSel(src, out []PathID, sel []int32, j0, j1, i, j int) {
+	if i == j {
+		if sel == nil {
+			for x := j0; x < j1; x++ {
+				out[x] = InvalidID
+			}
+		} else {
+			for _, x := range sel {
+				out[x] = InvalidID
+			}
+		}
+		return
+	}
+	miss := false
+	t.mu.RLock()
+	if sel == nil {
+		for x := j0; x < j1; x++ {
+			out[x] = t.extendLocked(src[x], i, j, &miss)
+		}
+	} else {
+		for _, x := range sel {
+			out[x] = t.extendLocked(src[x], i, j, &miss)
+		}
+	}
+	t.mu.RUnlock()
+	if !miss {
+		return
+	}
+	if sel == nil {
+		for x := j0; x < j1; x++ {
+			if out[x] == pendingID {
+				out[x] = t.Extend(src[x], i, j)
+			}
+		}
+	} else {
+		for _, x := range sel {
+			if out[x] == pendingID {
+				out[x] = t.Extend(src[x], i, j)
+			}
+		}
+	}
+}
+
+// extendLocked resolves one extension under the read lock held by
+// ExtendSel: an index hit or a provable invalidity answers immediately;
+// anything else is marked pending for the write path.
+func (t *Table) extendLocked(p PathID, i, j int, miss *bool) PathID {
+	if p.IsInvalid() {
+		return InvalidID
+	}
+	if id, ok := t.index[extKey{parent: p, i: int32(i), j: int32(j)}]; ok {
+		return id
+	}
+	if p != EmptyID {
+		if int(t.at(p).head.From) != j || t.contains(p, i) {
+			return InvalidID
+		}
+	}
+	*miss = true
+	return pendingID
+}
+
 // Intern maps a reference Path to its id, interning every prefix along
 // the way. It is the bridge from the []Arc representation: paths built
 // arc-by-arc through Extend never need it.

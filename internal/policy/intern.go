@@ -172,18 +172,33 @@ func (t *Interned) Path(r IRoute) paths.Path {
 // Algebra.Edge: the path extends (one table probe) before the policy
 // runs, so conditions can inspect the new first hop.
 func (t *Interned) Edge(i, j int, pol Policy) core.Edge[IRoute] {
-	name := pol.String()
-	return core.Fn[IRoute]("f("+name+")", func(r IRoute) IRoute {
-		if r.invalid {
-			return InvalidIRoute
-		}
-		id := t.Tab.Extend(r.ID, i, j)
-		if id.IsInvalid() {
-			return InvalidIRoute
-		}
-		return t.apply(pol, IRoute{LPref: r.LPref, Comms: r.Comms, ID: id, Pad: r.Pad, plen: r.plen + 1})
-	})
+	return &polEdge{t: t, i: i, j: j, pol: pol, name: "f(" + pol.String() + ")"}
 }
+
+// polEdge is the interned edge weight as a named type, so the columnar
+// backend can recognise it and compile the batched kernel; its behaviour
+// and label match the previous closure form exactly.
+type polEdge struct {
+	t    *Interned
+	i, j int
+	pol  Policy
+	name string
+}
+
+// Apply implements core.Edge.
+func (e *polEdge) Apply(r IRoute) IRoute {
+	if r.invalid {
+		return InvalidIRoute
+	}
+	id := e.t.Tab.Extend(r.ID, e.i, e.j)
+	if id.IsInvalid() {
+		return InvalidIRoute
+	}
+	return e.t.apply(e.pol, IRoute{LPref: r.LPref, Comms: r.Comms, ID: id, Pad: r.Pad, plen: r.plen + 1})
+}
+
+// Label implements core.Edge.
+func (e *polEdge) Label() string { return e.name }
 
 // apply interprets a policy program over the interned carrier, the exact
 // analogue of Policy.Apply on Route: same constructors, same saturation,
