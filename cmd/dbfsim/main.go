@@ -6,12 +6,18 @@
 //	dbfsim -algebra rip -topo ring -n 6 -seed 1 -loss 0.2 -dup 0.1
 //	dbfsim -algebra policy -policy 'addc(3); if (comm(3)) { lp+=2 }'
 //	dbfsim -algebra gr -topo fattree -n 4 -mode delta -steps 2000
+//	dbfsim -scenario examples/scenarios/wedgie-flap.scenario -substrate all
 //
 // Algebras: shortest, rip, widest, pv (path-tracked shortest), gr
 // (Gao–Rexford tiers), policy (the Section 7 language; see -policy).
 // Topologies: line, ring, grid, clique, star, random, fattree.
 // Modes: sim (the event-driven message-passing simulator) and delta (the
 // sharded, memory-bounded δ engine over a random (α, β) schedule).
+// With -scenario, dbfsim instead plays a dynamic-event timeline (link
+// failures, restarts, live policy edits) from a scenario file on the
+// substrates named by -substrate (engine, sim, dist, or all) and prints
+// each substrate's watchdog verdict; the exit code is 0 only when every
+// substrate converged.
 // The path-aware algebras (pv, policy) run over hash-consed interned
 // paths by default; -intern=false selects the reference []Arc carrier
 // and disables the engine's pooled-scratch/memo fast paths, for A/B
@@ -36,6 +42,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/pathalg"
 	"repro/internal/policy"
+	"repro/internal/scenario"
 	"repro/internal/simulate"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -66,8 +73,12 @@ func realMain() int {
 			"hash-consed route interning: path-aware algebras (pv, policy) carry PathIDs backed by a shared table, and the delta engine reuses pooled scratch and per-edge memo caches; false = reference []Arc paths and allocation-per-run evaluation, for A/B comparison")
 		colFlag = flag.Bool("columnar", true,
 			"delta mode: evaluate packable algebras through the columnar struct-of-arrays kernels (packed cell lanes, batched per-edge policy application, word-compare change detection); false = generic interface evaluation, for A/B comparison")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		scenFile = flag.String("scenario", "",
+			"play a dynamic-event scenario file instead of a static run (see internal/scenario)")
+		substrate = flag.String("substrate", "engine",
+			"scenario mode: substrate(s) to play the timeline on: engine|sim|dist|all")
 	)
 	flag.Parse()
 
@@ -96,6 +107,10 @@ func realMain() int {
 				fmt.Fprintln(os.Stderr, err)
 			}
 		}()
+	}
+
+	if *scenFile != "" {
+		return runScenario(*scenFile, *substrate)
 	}
 
 	mode = *modeFlag
@@ -211,6 +226,49 @@ func realMain() int {
 		return 2
 	}
 	return exitCode
+}
+
+// runScenario plays a dynamic-event timeline from a scenario file on the
+// named substrates and prints the per-substrate watchdog verdicts. Exit
+// status: 0 when every substrate's verdict is Converged, 1 when any run
+// wedged, oscillated, diverged, stayed undecided, or — engine only —
+// disagreed with the segment-wise reference evaluation; 2 on bad input.
+func runScenario(path, substrate string) int {
+	sc, err := scenario.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var subs []string
+	switch substrate {
+	case "all":
+		subs = []string{scenario.SubEngine, scenario.SubSim, scenario.SubDist}
+	case scenario.SubEngine, scenario.SubSim, scenario.SubDist:
+		subs = []string{substrate}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown substrate %q (want engine|sim|dist|all)\n", substrate)
+		return 2
+	}
+	rep, err := scenario.Run(sc, subs...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Print(rep)
+	code := 0
+	for _, sr := range rep.Substrates {
+		if sr.Class.Verdict != scenario.VerdictConverged {
+			code = 1
+		}
+		if sr.Substrate == scenario.SubEngine && !sr.ReferenceOK {
+			fmt.Fprintln(os.Stderr, "engine run disagreed with the segment-wise reference evaluation")
+			code = 1
+		}
+		if len(rep.Substrates) <= 2 && sr.FinalTable != "" {
+			fmt.Printf("%s final tables:\n%s", sr.Substrate, sr.FinalTable)
+		}
+	}
+	return code
 }
 
 // recorder, when non-nil, captures the run's event timeline for -trace.

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -37,6 +38,30 @@ type Config struct {
 	// σ-stable with consistent caches — before the run is declared
 	// converged. Default: 8 × ReadvertiseEvery.
 	SettleWindow time.Duration
+	// LossProb, DupProb, MinDelay and MaxDelay are the transport fault
+	// knobs, mirroring simulate.Config and transport.Faults so a live run
+	// can reproduce a simulator fault profile. They take effect through
+	// Faults() — RunLocal applies them automatically; callers wiring their
+	// own transport pass Faults() to it.
+	LossProb           float64
+	DupProb            float64
+	MinDelay, MaxDelay time.Duration
+	// Restarts schedules mid-run node restarts (the live form of
+	// simulate.Restart): each wipes the node's table and receive caches a
+	// fixed interval into the run. The run cannot settle while restarts
+	// are pending.
+	Restarts []Restart
+}
+
+// Restart wipes one node a fixed interval into a live run.
+type Restart struct {
+	After time.Duration
+	Node  int
+}
+
+// Faults returns the transport fault profile the Config describes.
+func (c Config) Faults() transport.Faults {
+	return transport.Faults{LossProb: c.LossProb, DupProb: c.DupProb, MinDelay: c.MinDelay, MaxDelay: c.MaxDelay}
 }
 
 func (c Config) withDefaults() Config {
@@ -82,15 +107,99 @@ type Network[R any] struct {
 	tr    transport.Transport
 	cfg   Config
 
-	// mu guards the omniscient view used for convergence detection: the
-	// global state and every node's receive cache. Routers are still truly
-	// concurrent — the lock covers only cache/table writes, never message
-	// latency.
+	// mu guards the omniscient view used for convergence detection — the
+	// global state and every node's receive cache — and, now that scenario
+	// runs mutate topology mid-flight, the adjacency itself. Routers are
+	// still truly concurrent — the lock covers only cache/table/topology
+	// access, never message latency.
 	mu      sync.Mutex
 	state   *matrix.State[R]
 	recv    [][][]R // recv[i][k]: latest table delivered to i from k
 	recvSeq [][]uint64
 	changed time.Time
+	// pendingOps counts scheduled mutations — Config.Restarts and
+	// ApplyAfter hooks — that have not fired yet; quiescence is withheld
+	// while any are outstanding.
+	pendingOps atomic.Int32
+	// muts are the ApplyAfter hooks, armed when Run starts.
+	muts []scheduledMut[R]
+}
+
+// scheduledMut is one ApplyAfter registration.
+type scheduledMut[R any] struct {
+	after time.Duration
+	f     func(*Network[R])
+}
+
+// ApplyAfter schedules f to run against the live network d after Run
+// starts — the generic form of Config.Restarts, used to play scenario
+// timelines (link failures, policy edits) against a running network. The
+// run cannot be declared quiescent while scheduled mutations are
+// pending, so a network that settles before its faults arrive keeps
+// running. Must be called before Run.
+func (nw *Network[R]) ApplyAfter(d time.Duration, f func(*Network[R])) {
+	nw.muts = append(nw.muts, scheduledMut[R]{after: d, f: f})
+}
+
+// SetEdge installs or replaces the live edge (i, j) mid-run — a link
+// recovery or a policy/weight edit played against a running network.
+func (nw *Network[R]) SetEdge(i, j int, e core.Edge[R]) {
+	nw.mu.Lock()
+	nw.adj.SetEdge(i, j, e)
+	nw.changed = time.Now()
+	nw.mu.Unlock()
+}
+
+// RemoveEdge fails the live edge (i, j) mid-run.
+func (nw *Network[R]) RemoveEdge(i, j int) {
+	nw.mu.Lock()
+	nw.adj.RemoveEdge(i, j)
+	nw.changed = time.Now()
+	nw.mu.Unlock()
+}
+
+// Touch records a policy-state edit that changed edge behaviour without
+// reinstalling an edge value, so the settle window reopens.
+func (nw *Network[R]) Touch() {
+	nw.mu.Lock()
+	nw.adj.Touch()
+	nw.changed = time.Now()
+	nw.mu.Unlock()
+}
+
+// Mutate runs f under the network lock and reopens the settle window —
+// for live policy-state edits (e.g. re-ranking a path in a shared SPP
+// table) whose edge functions the routers apply concurrently under the
+// same lock. Plain topology edits should use SetEdge/RemoveEdge instead.
+func (nw *Network[R]) Mutate(f func()) {
+	nw.mu.Lock()
+	f()
+	nw.adj.Touch()
+	nw.changed = time.Now()
+	nw.mu.Unlock()
+}
+
+// RestartNode wipes node i mid-run: its table resets to the identity row
+// (trivial to itself, invalid elsewhere) and its receive caches to
+// invalid, modelling a crash-and-restart that also lost its peers' state.
+func (nw *Network[R]) RestartNode(i int) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	n := nw.adj.N
+	row := make([]R, n)
+	for j := range row {
+		row[j] = nw.alg.Invalid()
+	}
+	row[i] = nw.alg.Trivial()
+	nw.state.SetRow(i, row)
+	for k := 0; k < n; k++ {
+		fresh := make([]R, n)
+		for j := range fresh {
+			fresh[j] = nw.alg.Invalid()
+		}
+		nw.recv[i][k] = fresh
+	}
+	nw.changed = time.Now()
 }
 
 // NewNetwork builds a live network over the transport. The starting state
@@ -124,6 +233,24 @@ func NewNetwork[R any](
 	return nw
 }
 
+// RunLocal runs a network over a fresh seeded in-memory transport built
+// from the Config's fault knobs — the one-call way to reproduce a
+// simulator fault profile live. The transport is closed when the run
+// ends.
+func RunLocal[R any](
+	alg core.Algebra[R],
+	adj *matrix.Adjacency[R],
+	start *matrix.State[R],
+	codec wire.Codec[R],
+	cfg Config,
+) Outcome[R] {
+	tr := transport.NewMemory(adj.N, cfg.Seed, cfg.Faults())
+	nw := NewNetwork(alg, adj, start, codec, tr, cfg)
+	out := nw.Run(context.Background())
+	tr.Close()
+	return out
+}
+
 // Run starts one goroutine per router plus a convergence monitor and
 // blocks until the network settles, the context is cancelled, or the
 // timeout fires.
@@ -132,6 +259,28 @@ func (nw *Network[R]) Run(ctx context.Context) Outcome[R] {
 	defer cancel()
 	begin := time.Now()
 	nw.changed = begin
+
+	muts := nw.muts
+	for _, rs := range nw.cfg.Restarts {
+		node := rs.Node
+		muts = append(muts, scheduledMut[R]{after: rs.After, f: func(nw *Network[R]) {
+			nw.RestartNode(node)
+		}})
+	}
+	var timers []*time.Timer
+	for _, m := range muts {
+		m := m
+		nw.pendingOps.Add(1)
+		timers = append(timers, time.AfterFunc(m.after, func() {
+			m.f(nw)
+			nw.pendingOps.Add(-1)
+		}))
+	}
+	defer func() {
+		for _, tm := range timers {
+			tm.Stop()
+		}
+	}()
 
 	n := nw.adj.N
 	var wg sync.WaitGroup
@@ -238,9 +387,19 @@ func (nw *Network[R]) recompute(i int, scratch []R) bool {
 
 // advertise encodes node i's current table and sends it to every listener
 // (nodes j with an edge (j, i), i.e. nodes whose σ-row reads i's table).
+// The listener set is gathered under the lock — the adjacency can mutate
+// mid-run — but the sends happen outside it, so a slow transport never
+// holds up the omniscient view.
 func (nw *Network[R]) advertise(i int, seq uint64) {
 	nw.mu.Lock()
 	row := nw.state.Row(i)
+	n := nw.adj.N
+	listeners := make([]int, 0, n)
+	for j := 0; j < n; j++ {
+		if _, ok := nw.adj.Edge(j, i); ok && j != i {
+			listeners = append(listeners, j)
+		}
+	}
 	nw.mu.Unlock()
 	rows := make([][]byte, len(row))
 	for j, r := range row {
@@ -251,10 +410,8 @@ func (nw *Network[R]) advertise(i int, seq uint64) {
 		rows[j] = b
 	}
 	payload := wire.EncodeAdvert(wire.Advert{From: i, Seq: seq, Rows: rows})
-	for j := 0; j < nw.adj.N; j++ {
-		if _, ok := nw.adj.Edge(j, i); ok && j != i {
-			_ = nw.tr.Send(transport.Message{From: i, To: j, Payload: payload})
-		}
+	for _, j := range listeners {
+		_ = nw.tr.Send(transport.Message{From: i, To: j, Payload: payload})
 	}
 }
 
@@ -278,6 +435,9 @@ func (nw *Network[R]) monitor(ctx context.Context) bool {
 }
 
 func (nw *Network[R]) quiescent() bool {
+	if nw.pendingOps.Load() != 0 {
+		return false
+	}
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	if time.Since(nw.changed) < nw.cfg.SettleWindow {

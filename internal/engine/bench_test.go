@@ -197,3 +197,51 @@ func BenchmarkEngineSigma(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkEventRecompute measures the incremental cost of one mid-run
+// fault: from a σ-converged start on the n = 512 bench topology, a
+// timeline fails one link and the engine reconverges. cells/op is the
+// full run's σ-cell count; eventcells/op subtracts an event-free
+// baseline run from the same start, isolating what the single link
+// failure made the engine recompute — the per-event recompute cost the
+// scenario layer (internal/scenario) rides on.
+func BenchmarkEventRecompute(b *testing.B) {
+	const n = 512
+	alg, adj := benchNet(n)
+	start, _, ok := matrix.FixedPoint[algebras.NatInf](alg, adj, matrix.Identity[algebras.NatInf](alg, n), 4*n)
+	if !ok {
+		b.Fatal("bench topology did not converge")
+	}
+	src := engine.Hashed{N: n, T: 4096, Seed: 1, MaxGap: 16, MaxStaleness: 8}
+
+	run := func(adj *matrix.Adjacency[algebras.NatInf], events []engine.TimelineEvent[algebras.NatInf]) int {
+		eng := engine.New[algebras.NatInf](alg, adj, engine.Config{})
+		defer eng.Close()
+		res := eng.RunTimeline(start, src, events)
+		if _, converged := res.Converged(); !converged {
+			b.Fatal("run did not certify convergence")
+		}
+		return res.Stats().CellsComputed
+	}
+
+	baseline := run(adj.Clone(), nil)
+
+	events := func() []engine.TimelineEvent[algebras.NatInf] {
+		return []engine.TimelineEvent[algebras.NatInf]{{
+			Step: 8,
+			Mutate: func(a *matrix.Adjacency[algebras.NatInf]) {
+				a.RemoveEdge(2, 3)
+				a.RemoveEdge(3, 2)
+			},
+			Rows: []int{2, 3},
+		}}
+	}
+
+	var cells int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells += run(adj.Clone(), events())
+	}
+	b.ReportMetric(float64(cells)/float64(b.N), "cells/op")
+	b.ReportMetric(float64(cells-b.N*baseline)/float64(b.N), "eventcells/op")
+}

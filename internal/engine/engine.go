@@ -188,6 +188,8 @@ type Stats struct {
 	RowsRecycled int
 	// Retained is the number of states held at the end of the run.
 	Retained int
+	// Events is the number of timeline events applied (RunTimeline only).
+	Events int
 }
 
 // Engine evaluates δ (and, through the Synchronous source, σ) over one
@@ -538,7 +540,7 @@ func acquireRun[R, Row any](e *Engine[R], ops rowOps[R, Row], n, window, T int) 
 			wper := (n + 63) / 64
 			r.inc = &incShared{
 				n: n, ver: make([]int32, n*n),
-				wordMax:   make([]int32, n*wper), wper: wper,
+				wordMax: make([]int32, n*wper), wper: wper,
 				rowMax:    make([]int32, n),
 				hist:      make([]uint64, n*histH*wper),
 				histStamp: make([]int32, n*histH),
@@ -737,8 +739,23 @@ func (e *Engine[R]) Run(start *matrix.State[R], src Source) *Result[R] {
 	if n != e.adj.N {
 		panic(fmt.Sprintf("engine: source has %d nodes but adjacency has %d", n, e.adj.N))
 	}
-	doTerm, fairP := e.terminationFor(src)
-	window := e.window
+	window, doTerm, fairP := e.planRun(src)
+	T := src.Horizon()
+	if window >= 0 && e.interning && e.columnar {
+		// Keep-everything runs stay on the interface path: their
+		// snapshots escape into the Result, which hands out []R rows.
+		if cs := e.columnarFor(); cs != nil {
+			return runLoop(e, &colOps[R]{e: e, cs: cs}, start, src, n, window, T, doTerm, fairP, nil)
+		}
+	}
+	return runLoop(e, genOps[R]{e: e}, start, src, n, window, T, doTerm, fairP, nil)
+}
+
+// planRun resolves the history window and the early-termination plan for
+// one run over src, shared by Run and RunTimeline.
+func (e *Engine[R]) planRun(src Source) (window int, doTerm bool, fairP int) {
+	doTerm, fairP = e.terminationFor(src)
+	window = e.window
 	if window == 0 {
 		if b, ok := src.(Bounded); ok {
 			window = b.MaxLookback()
@@ -758,19 +775,41 @@ func (e *Engine[R]) Run(start *matrix.State[R], src Source) *Result[R] {
 		// the history the caller asked to retain. TermRequire overrides.
 		doTerm = false
 	}
-	T := src.Horizon()
-	if window >= 0 && e.interning && e.columnar {
-		// Keep-everything runs stay on the interface path: their
-		// snapshots escape into the Result, which hands out []R rows.
-		if cs := e.columnarFor(); cs != nil {
-			return runLoop(e, &colOps[R]{e: e, cs: cs}, start, src, n, window, T, doTerm, fairP)
-		}
-	}
-	return runLoop(e, genOps[R]{e: e}, start, src, n, window, T, doTerm, fairP)
+	return window, doTerm, fairP
 }
 
-// runLoop is the evaluation loop shared by every row representation.
-func runLoop[R, Row any](e *Engine[R], ops rowOps[R, Row], start *matrix.State[R], src Source, n, window, T int, doTerm bool, fairP int) *Result[R] {
+// foldRowChanges publishes node i's changed-destination scratch bitset
+// (r.chg[i]) for step t into the last-changed matrix, the change-mask
+// ring, and the word/row dirty summaries, then clears it. It reports
+// whether any column actually changed.
+func (r *run[R, Row]) foldRowChanges(i, t int) bool {
+	chgI := &r.chg[i]
+	if chgI.Empty() {
+		return false
+	}
+	base := i * r.inc.n
+	wbase := i * r.inc.wper
+	slot := i*histH + t&(histH-1)
+	hb := r.inc.hist[slot*r.inc.wper : (slot+1)*r.inc.wper]
+	clear(hb)
+	r.inc.histStamp[slot] = int32(t)
+	chgI.ForEachWord(func(wi int, w uint64) {
+		hb[wi] = w
+		r.inc.wordMax[wbase+wi] = int32(t)
+		jb := base + wi<<6
+		for w != 0 {
+			r.inc.ver[jb+bits.TrailingZeros64(w)] = int32(t)
+			w &= w - 1
+		}
+	})
+	r.inc.rowMax[i] = int32(t)
+	chgI.Clear()
+	return true
+}
+
+// runLoop is the evaluation loop shared by every row representation. tl,
+// when non-nil, is the mid-run event timeline of a RunTimeline call.
+func runLoop[R, Row any](e *Engine[R], ops rowOps[R, Row], start *matrix.State[R], src Source, n, window, T int, doTerm bool, fairP int, tl *timeline[R]) *Result[R] {
 	r := acquireRun(e, ops, n, window, T)
 	nbr, nbrOff := neighbours(e, r)
 	r.adj = ops.adjFor()
@@ -835,8 +874,90 @@ func runLoop[R, Row any](e *Engine[R], ops rowOps[R, Row], start *matrix.State[R
 	lastChange := 0
 	steps := T
 	converged := false
+	var marks []*matrix.State[R]
+	if tl != nil {
+		marks = make([]*matrix.State[R], 0, len(tl.events))
+	}
 
 	for t := 1; t <= T; t++ {
+		if tl != nil && tl.next < len(tl.events) && tl.events[tl.next].Step == t {
+			// Timeline event step: no node activates. Restarted nodes'
+			// rows are replaced by the identity row (recorded as changes
+			// so neighbours recompute), then the mutation edits the
+			// adjacency in place and the affected rows are invalidated so
+			// their next activation recomputes in full — with change
+			// tracking, so only genuinely moved columns propagate.
+			ev := &tl.events[tl.next]
+			tl.next++
+			cur := r.newHeader(n)
+			copy(cur, prev)
+			if len(ev.Restart) > 0 {
+				var prevSnap *matrix.State[R]
+				var scratch []R
+				if e.incremental {
+					prevSnap = ops.materialise(prev)
+				}
+				for _, i := range ev.Restart {
+					if scratch == nil {
+						scratch = make([]R, n)
+					}
+					for j := range scratch {
+						scratch[j] = e.alg.Invalid()
+					}
+					scratch[i] = e.alg.Trivial()
+					row := r.newRow(n)
+					ops.encodeRow(row, scratch)
+					cur[i] = row
+					if e.incremental {
+						old := prevSnap.RowView(i)
+						chgI := &r.chg[i]
+						for j := 0; j < n; j++ {
+							if !e.alg.Equal(scratch[j], old[j]) {
+								chgI.Set(j)
+							}
+						}
+						r.foldRowChanges(i, t)
+						r.lastComp[i] = -1
+					}
+				}
+			}
+			if ev.Mutate != nil {
+				ev.Mutate(e.adj)
+				// Policy-state edits can change edge behaviour without
+				// moving the adjacency generation; bump it so memoised
+				// views and compiled kernels can never be served stale.
+				e.adj.Touch()
+				nbr, nbrOff = neighbours(e, r)
+				r.adj = ops.adjFor()
+				if e.incremental {
+					if d := maxDegree(nbrOff); len(r.betaBuf) < d {
+						r.betaBuf = make([]int, d)
+						betaBuf = r.betaBuf
+					}
+					if ev.Rows == nil {
+						for i := range r.lastComp {
+							r.lastComp[i] = -1
+						}
+					} else {
+						for _, i := range ev.Rows {
+							r.lastComp[i] = -1
+						}
+					}
+				}
+			}
+			if e.incremental {
+				r.inc.top = int32(t)
+			}
+			r.put(t, cur)
+			prev = cur
+			marks = append(marks, ops.materialise(cur))
+			// An event reopens the convergence question from scratch.
+			lastChange = t
+			certGen++
+			nCert = 0
+			r.stats.Events++
+			continue
+		}
 		actives = actives[:0]
 		for i := 0; i < n; i++ {
 			if src.Active(t, i) {
@@ -987,27 +1108,8 @@ func runLoop[R, Row any](e *Engine[R], ops rowOps[R, Row], start *matrix.State[R
 			// global dirty frontier.
 			if e.incremental {
 				for _, fi := range pendRows {
-					i := int(fi)
-					base := i * n
-					wbase := i * r.inc.wper
-					chgI := &r.chg[i]
-					if !chgI.Empty() {
-						slot := i*histH + t&(histH-1)
-						hb := r.inc.hist[slot*r.inc.wper : (slot+1)*r.inc.wper]
-						clear(hb)
-						r.inc.histStamp[slot] = int32(t)
-						chgI.ForEachWord(func(wi int, w uint64) {
-							hb[wi] = w
-							r.inc.wordMax[wbase+wi] = int32(t)
-							jb := base + wi<<6
-							for w != 0 {
-								r.inc.ver[jb+bits.TrailingZeros64(w)] = int32(t)
-								w &= w - 1
-							}
-						})
-						r.inc.rowMax[i] = int32(t)
+					if r.foldRowChanges(int(fi), t) {
 						stepChanged = true
-						chgI.Clear()
 					}
 				}
 				r.inc.top = int32(t)
@@ -1037,7 +1139,11 @@ func runLoop[R, Row any](e *Engine[R], ops rowOps[R, Row], start *matrix.State[R
 					nCert++
 				}
 			}
-			if nCert == n && t-lastChange >= fairP-1 {
+			if nCert == n && t-lastChange >= fairP-1 &&
+				(tl == nil || tl.next >= len(tl.events)) {
+				// With timeline events still pending, a certified fixed
+				// point is only an interlude — the next event will
+				// perturb it, so the run must keep marching.
 				steps = t
 				converged = true
 				break
@@ -1063,7 +1169,7 @@ func runLoop[R, Row any](e *Engine[R], ops rowOps[R, Row], start *matrix.State[R
 			}
 		}
 	}
-	res := &Result[R]{alg: e.alg, horizon: steps, final: ops.materialise(prev), stats: r.stats}
+	res := &Result[R]{alg: e.alg, horizon: steps, final: ops.materialise(prev), stats: r.stats, marks: marks}
 	if window < 0 {
 		ops.retain(res, r.all)
 	}

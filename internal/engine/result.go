@@ -15,6 +15,7 @@ type Result[R any] struct {
 	final   *matrix.State[R]
 	snaps   [][][]R // non-nil only when history was retained
 	stats   Stats
+	marks   []*matrix.State[R] // per-event snapshots of a RunTimeline run
 }
 
 // Final returns δᵀ(X).
@@ -33,6 +34,13 @@ func (r *Result[R]) Stats() Stats { return r.stats }
 func (r *Result[R]) Converged() (int, bool) {
 	return r.stats.ConvergedAt, r.stats.ConvergedAt >= 0
 }
+
+// Marks returns the state at each timeline event step of a RunTimeline
+// run (after the event's restarts, before any subsequent activation), in
+// event order. Empty for plain Run calls. Mark k is the exact initial
+// state of the schedule segment that follows event k, which is what makes
+// segment-wise differential checks against async.RunReference possible.
+func (r *Result[R]) Marks() []*matrix.State[R] { return r.marks }
 
 // Retained reports whether the run kept its full history, i.e. whether At
 // and History are available.

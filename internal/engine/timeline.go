@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// TimelineEvent is one scheduled mid-run fault: at time step Step no node
+// activates; instead the listed nodes restart and the mutation, if any,
+// edits the topology or policies in place. This is the Section 3.2
+// dynamic model made operational inside one δ run: a change turns the
+// remainder of the run into a new problem instance that starts from the
+// current state — except that here the incremental machinery carries
+// over, so after the event only the affected columns recompute.
+type TimelineEvent[R any] struct {
+	// Step is the time step the event fires at, 1 ≤ Step ≤ horizon.
+	// Events must be given in strictly increasing Step order.
+	Step int
+	// Mutate, when non-nil, edits the engine's adjacency (and/or the
+	// policy state the edge functions close over) in place.
+	Mutate func(adj *matrix.Adjacency[R])
+	// Rows lists the nodes whose in-edge set or in-edge functions Mutate
+	// touches: exactly these rows are invalidated, so their next
+	// activation recomputes in full (with change tracking — downstream
+	// nodes still only see the columns that actually moved). nil with a
+	// non-nil Mutate invalidates every row; prefer naming the rows, that
+	// is what keeps an event cheap.
+	Rows []int
+	// Restart lists nodes that crash and restart at this step: their row
+	// is reset to the identity row (trivial to self, invalid elsewhere),
+	// generalising simulate.Restart to the stepped engine.
+	Restart []int
+}
+
+// timeline is the runLoop-side cursor over a RunTimeline event list.
+type timeline[R any] struct {
+	events []TimelineEvent[R]
+	next   int
+}
+
+// RunTimeline evaluates δ from start over src while playing the given
+// event timeline: at each event's step the fault is injected, and the
+// run continues on the mutated instance from the state it had reached.
+// The result's Marks hold the state at each event step, so each
+// inter-event segment can be differentially checked against a reference
+// evaluation on that segment's topology.
+//
+// The engine's adjacency is mutated in place as the timeline plays; the
+// engine remains valid afterwards and evaluates the post-event topology.
+// Callers that need the original topology untouched should build the
+// engine over a clone.
+//
+// Timeline runs always use the interface row representation: the
+// columnar backend compiles per-edge kernels against a fixed topology,
+// which a mid-run mutation would invalidate. Early termination (under a
+// Fair source) is suppressed while events are pending and becomes
+// available again after the last event fires.
+func (e *Engine[R]) RunTimeline(start *matrix.State[R], src Source, events []TimelineEvent[R]) *Result[R] {
+	n := src.Nodes()
+	if n != e.adj.N {
+		panic(fmt.Sprintf("engine: source has %d nodes but adjacency has %d", n, e.adj.N))
+	}
+	T := src.Horizon()
+	validateTimeline(events, n, T)
+	window, doTerm, fairP := e.planRun(src)
+	tl := &timeline[R]{events: events}
+	return runLoop(e, genOps[R]{e: e}, start, src, n, window, T, doTerm, fairP, tl)
+}
+
+func validateTimeline[R any](events []TimelineEvent[R], n, T int) {
+	last := 0
+	for idx, ev := range events {
+		if ev.Step <= last {
+			panic(fmt.Sprintf("engine: timeline event %d at step %d, want strictly increasing steps (previous %d)", idx, ev.Step, last))
+		}
+		if ev.Step > T {
+			panic(fmt.Sprintf("engine: timeline event %d at step %d beyond horizon %d", idx, ev.Step, T))
+		}
+		if ev.Mutate == nil && len(ev.Restart) == 0 {
+			panic(fmt.Sprintf("engine: timeline event %d at step %d does nothing (no Mutate, no Restart)", idx, ev.Step))
+		}
+		for _, i := range ev.Restart {
+			if i < 0 || i >= n {
+				panic(fmt.Sprintf("engine: timeline event %d restarts node %d, want [0, %d)", idx, i, n))
+			}
+		}
+		for _, i := range ev.Rows {
+			if i < 0 || i >= n {
+				panic(fmt.Sprintf("engine: timeline event %d invalidates row %d, want [0, %d)", idx, i, n))
+			}
+		}
+		last = ev.Step
+	}
+}

@@ -77,6 +77,42 @@ func (s *SPP) Permit(rank uint32, nodes ...int) {
 	}
 }
 
+// Clone returns an independent copy of the instance. Scenario runs that
+// edit rankings mid-run (live policy edits) mutate their own copy, so the
+// pristine instance stays reusable.
+func (s *SPP) Clone() *SPP {
+	c := NewSPP(s.N, s.Dest)
+	for i, m := range s.rankings {
+		for k, v := range m {
+			c.rankings[i][k] = v
+		}
+	}
+	for a := range s.arcs {
+		c.arcs[a] = true
+	}
+	return c
+}
+
+// SetRank re-ranks an already-permitted path at its source node — the SPP
+// form of a live policy edit. It reports whether the path was permitted;
+// unknown paths are left alone (adding a path would also add arcs, which
+// is Permit's job).
+func (s *SPP) SetRank(rank uint32, nodes ...int) bool {
+	if rank < 1 {
+		return false
+	}
+	p := paths.FromNodes(nodes...)
+	if p.IsInvalid() || p.IsEmpty() {
+		return false
+	}
+	src, _ := p.Source()
+	if _, ok := s.rankings[src][p.String()]; !ok {
+		return false
+	}
+	s.rankings[src][p.String()] = rank
+	return true
+}
+
 // Rank returns the rank node i assigns to path p, or (0, false) if the
 // path is not permitted at i.
 func (s *SPP) Rank(i int, p paths.Path) (uint32, bool) {

@@ -142,6 +142,12 @@ type Adjacency[R any] struct {
 // detect topology changes and invalidate themselves.
 func (a *Adjacency[R]) Generation() uint64 { return a.gen }
 
+// Touch bumps the generation without changing any edge. Mutations that
+// change edge *behaviour* without reinstalling an edge value — say, a
+// policy table the edge functions close over — call it so derived views
+// (memoised adjacencies, compiled kernels) know to invalidate.
+func (a *Adjacency[R]) Touch() { a.gen++ }
+
 // NewAdjacency allocates an n × n adjacency matrix with no edges.
 func NewAdjacency[R any](n int) *Adjacency[R] {
 	return &Adjacency[R]{N: n, edges: make([]core.Edge[R], n*n)}

@@ -1,0 +1,232 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/algebras"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gadgets"
+	"repro/internal/matrix"
+	"repro/internal/paths"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// instance is a scenario compiled for one run on one substrate: the
+// algebra, a working adjacency the events mutate, the pristine
+// adjacency link recoveries restore from, and the hooks the generic
+// runners need (wire codec for the live substrate, a finite measure for
+// count-to-infinity detection, a route sample for bisimulation checks).
+//
+// Every run builds its own instance: rank edits mutate the instance's
+// private SPP clone, so an engine run and its differential reference
+// replay must never share one.
+type instance[R any] struct {
+	n     int
+	alg   core.Algebra[R]
+	adj   *matrix.Adjacency[R]
+	prist *matrix.Adjacency[R]
+	start *matrix.State[R]
+	codec wire.Codec[R]
+	// spp is the gadget family's private policy state (nil for topo).
+	spp *gadgets.SPP
+	// weightEdge builds a weighted edge (nil for gadgets).
+	weightEdge func(w int64) core.Edge[R]
+	// measure maps a route to a finite size, reporting false on the
+	// invalid route; monotone growth of the total measure is the
+	// watchdog's count-to-infinity signature. Nil when the algebra's
+	// carrier is finite.
+	measure func(R) (int64, bool)
+	// mustConverge marks a finite strictly-increasing algebra (rip):
+	// Theorem 7 guarantees convergence under ANY timeline, which the
+	// fuzzer uses as a hard invariant.
+	mustConverge bool
+	// sample is a route sample for the bisimulation certifier.
+	sample []R
+}
+
+// buildGadget compiles a gadget-family scenario.
+func buildGadget(sc *Scenario) (*instance[gadgets.Route], error) {
+	var base *gadgets.SPP
+	switch sc.Spec.Gadget {
+	case "disagree":
+		base = gadgets.Disagree()
+	case "badgadget":
+		base = gadgets.BadGadget()
+	case "goodgadget":
+		base = gadgets.GoodGadget()
+	case "wedgie":
+		base = gadgets.Wedgie()
+	default:
+		return nil, fmt.Errorf("scenario: unknown gadget %q", sc.Spec.Gadget)
+	}
+	spp := base.Clone()
+	alg := gadgets.Algebra{S: spp}
+	adj := alg.Adjacency()
+	in := &instance[gadgets.Route]{
+		n:      spp.N,
+		alg:    alg,
+		adj:    adj,
+		prist:  adj.Clone(),
+		codec:  wire.SPPCodec{},
+		spp:    spp,
+		sample: alg.SampleRoutes(),
+	}
+	if sc.StartStable > 0 {
+		states := gadgets.StableStates(spp)
+		k := sc.StartStable - 1
+		if k >= len(states) {
+			return nil, fmt.Errorf("scenario: start stable %d but %s has only %d stable state(s)",
+				k, sc.Spec.Gadget, len(states))
+		}
+		in.start = states[k].Clone()
+	} else {
+		in.start = gadgets.InitialState(spp)
+	}
+	if err := in.check(sc); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// buildTopo compiles a topo-family scenario.
+func buildTopo(sc *Scenario) (*instance[algebras.NatInf], error) {
+	n := sc.Spec.N
+	var g topology.Graph
+	switch sc.Spec.Topo {
+	case "line":
+		g = topology.Line(n)
+	case "ring":
+		g = topology.Ring(n)
+	case "star":
+		g = topology.Star(n)
+	case "clique":
+		g = topology.Complete(n)
+	case "random":
+		g = topology.ErdosRenyi(rand.New(rand.NewSource(sc.Seed)), n, 0.3)
+	default:
+		return nil, fmt.Errorf("scenario: unknown topology %q", sc.Spec.Topo)
+	}
+	in := &instance[algebras.NatInf]{
+		n:      n,
+		codec:  wire.NatInfCodec{},
+		sample: []algebras.NatInf{0, 1, 2, 7, algebras.Inf},
+	}
+	switch sc.Spec.Algebra {
+	case "shortest":
+		alg := algebras.ShortestPaths{}
+		in.alg = alg
+		in.weightEdge = func(w int64) core.Edge[algebras.NatInf] { return alg.AddEdge(algebras.NatInf(w)) }
+		// The unbounded carrier is where count-to-infinity lives; the
+		// watchdog watches the total finite distance for monotone growth.
+		in.measure = func(v algebras.NatInf) (int64, bool) {
+			if v.IsInf() {
+				return 0, false
+			}
+			return int64(v), true
+		}
+		in.adj = topology.BuildUniform[algebras.NatInf](g, alg.AddEdge(1))
+		in.start = matrix.Identity[algebras.NatInf](alg, n)
+	case "rip":
+		alg := algebras.RIP()
+		in.alg = alg
+		in.weightEdge = func(w int64) core.Edge[algebras.NatInf] { return alg.AddEdge(algebras.NatInf(w)) }
+		in.mustConverge = true
+		in.adj = topology.BuildUniform[algebras.NatInf](g, alg.AddEdge(1))
+		in.start = matrix.Identity[algebras.NatInf](alg, n)
+	default:
+		return nil, fmt.Errorf("scenario: unknown algebra %q", sc.Spec.Algebra)
+	}
+	in.prist = in.adj.Clone()
+	if err := in.check(sc); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// check verifies the build-time event facts Validate cannot see: rank
+// edits must name a permitted path, link recoveries must name a link the
+// pristine topology actually has.
+func (in *instance[R]) check(sc *Scenario) error {
+	for idx, ev := range sc.Events {
+		switch ev.Kind {
+		case SetRank:
+			if _, ok := in.spp.Rank(ev.Path[0], paths.FromNodes(ev.Path...)); !ok {
+				return fmt.Errorf("scenario: event %d: path %v not permitted", idx, ev.Path)
+			}
+		case LinkUp:
+			_, fwd := in.prist.Edge(ev.A, ev.B)
+			_, rev := in.prist.Edge(ev.B, ev.A)
+			if !fwd && !rev {
+				return fmt.Errorf("scenario: event %d: link %d–%d not in the pristine topology", idx, ev.A, ev.B)
+			}
+		case LinkDown:
+			_, fwd := in.prist.Edge(ev.A, ev.B)
+			_, rev := in.prist.Edge(ev.B, ev.A)
+			if !fwd && !rev {
+				return fmt.Errorf("scenario: event %d: link %d–%d not in the topology", idx, ev.A, ev.B)
+			}
+		}
+	}
+	return nil
+}
+
+// apply plays one event against an adjacency (the instance's own, a
+// simulator clone, or — via the network mutators — a live one). Links
+// are treated as undirected: both directions fail together, and a
+// recovery restores whichever directions the pristine topology had.
+// Rank edits mutate the instance's SPP in place and bump the adjacency
+// generation so memoised edge views are rebuilt.
+func (in *instance[R]) apply(ev Event, adj *matrix.Adjacency[R]) {
+	switch ev.Kind {
+	case LinkDown:
+		adj.RemoveEdge(ev.A, ev.B)
+		adj.RemoveEdge(ev.B, ev.A)
+	case LinkUp:
+		if e, ok := in.prist.Edge(ev.A, ev.B); ok {
+			adj.SetEdge(ev.A, ev.B, e)
+		}
+		if e, ok := in.prist.Edge(ev.B, ev.A); ok {
+			adj.SetEdge(ev.B, ev.A, e)
+		}
+	case SetWeight:
+		adj.SetEdge(ev.A, ev.B, in.weightEdge(ev.Weight))
+		adj.SetEdge(ev.B, ev.A, in.weightEdge(ev.Weight))
+	case SetRank:
+		in.spp.SetRank(ev.Rank, ev.Path...)
+		adj.Touch()
+	}
+}
+
+// affectedRows lists the state rows whose in-edge functions an event
+// touches — the incremental engine invalidates exactly these. Row i's
+// update σ(X)_i reads i's out-edges A_ik, so a link event touches both
+// endpoints and a rank edit touches the path's source node (whose
+// ranking table the edge functions consult).
+func (in *instance[R]) affectedRows(ev Event) []int {
+	switch ev.Kind {
+	case SetRank:
+		return []int{ev.Path[0]}
+	default:
+		return []int{ev.A, ev.B}
+	}
+}
+
+// timeline compiles the scenario events for engine.RunTimeline.
+func (in *instance[R]) timeline(events []Event) []engine.TimelineEvent[R] {
+	out := make([]engine.TimelineEvent[R], 0, len(events))
+	for _, ev := range events {
+		te := engine.TimelineEvent[R]{Step: ev.Step}
+		if ev.Kind == Restart {
+			te.Restart = []int{ev.Node}
+		} else {
+			ev := ev
+			te.Mutate = func(adj *matrix.Adjacency[R]) { in.apply(ev, adj) }
+			te.Rows = in.affectedRows(ev)
+		}
+		out = append(out, te)
+	}
+	return out
+}

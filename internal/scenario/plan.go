@@ -1,0 +1,92 @@
+package scenario
+
+import (
+	"math/rand"
+
+	"repro/internal/schedule"
+)
+
+// plan is the engine Source a scenario runs under: an independent
+// materialised random schedule per inter-event segment, with β clamped
+// so no lookup reaches past the most recent event step. Event steps
+// themselves carry no activations. The clamping is what makes the
+// segment-wise differential exact: segment s, viewed in local time, is
+// precisely segs[s], so async.RunReference on that segment's topology
+// is a step-for-step oracle for the stitched run.
+type plan struct {
+	n      int
+	starts []int // starts[s] = global step that is segment s's local time 0
+	segs   []*schedule.Schedule
+}
+
+// scheduleOptions maps the scenario's schedule knobs onto
+// schedule.Options with the scenario-layer defaults.
+func (sc *Scenario) scheduleOptions() schedule.Options {
+	opts := schedule.Options{ActivationProb: sc.ActProb, MaxStaleness: sc.MaxStaleness}
+	if opts.ActivationProb == 0 {
+		opts.ActivationProb = 0.6
+	}
+	if opts.MaxStaleness == 0 {
+		opts.MaxStaleness = 4
+	}
+	return opts
+}
+
+// newPlan splits the horizon at the scenario's event steps and draws a
+// seeded random schedule for each segment.
+func newPlan(sc *Scenario, n int) *plan {
+	rng := rand.New(rand.NewSource(sc.Seed))
+	opts := sc.scheduleOptions()
+	p := &plan{n: n}
+	prev := 0
+	for _, ev := range sc.Events {
+		p.starts = append(p.starts, prev)
+		p.segs = append(p.segs, schedule.Random(rng, n, ev.Step-prev-1, opts))
+		prev = ev.Step
+	}
+	p.starts = append(p.starts, prev)
+	p.segs = append(p.segs, schedule.Random(rng, n, sc.Horizon-prev, opts))
+	return p
+}
+
+func (p *plan) Nodes() int { return p.n }
+
+func (p *plan) Horizon() int {
+	last := len(p.segs) - 1
+	return p.starts[last] + p.segs[last].T
+}
+
+func (p *plan) MaxLookback() int {
+	max := 1
+	for _, s := range p.segs {
+		if m := s.MaxLookback(); m > max {
+			max = m
+		}
+	}
+	return max
+}
+
+// seg locates the segment containing global step t; ok is false on
+// event steps (which belong to no segment).
+func (p *plan) seg(t int) (s, tau int, ok bool) {
+	for s = len(p.starts) - 1; s >= 0; s-- {
+		if t > p.starts[s] {
+			tau = t - p.starts[s]
+			return s, tau, tau <= p.segs[s].T
+		}
+	}
+	panic("scenario: step before start")
+}
+
+func (p *plan) Active(t, i int) bool {
+	s, tau, ok := p.seg(t)
+	if !ok {
+		return false
+	}
+	return p.segs[s].Active(tau, i)
+}
+
+func (p *plan) Beta(t, i, k int) int {
+	s, tau, _ := p.seg(t)
+	return p.starts[s] + p.segs[s].Beta(tau, i, k)
+}

@@ -1,0 +1,343 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/async"
+	"repro/internal/dist"
+	"repro/internal/engine"
+	"repro/internal/matrix"
+	"repro/internal/simulate"
+	"repro/internal/transport"
+)
+
+// Substrate names accepted by Run.
+const (
+	SubEngine = "engine"
+	SubSim    = "sim"
+	SubDist   = "dist"
+)
+
+// simTick is the simulator's virtual time per engine step: 8 mean
+// activation periods, so a node typically activates several times
+// between consecutive steps of the abstract timeline.
+const simTick = 40
+
+// distStep is the live network's wall-clock time per engine step.
+const distStep = 3 * time.Millisecond
+
+// SubstrateReport is one substrate's outcome for a scenario.
+type SubstrateReport struct {
+	Substrate string
+	// Converged is the substrate's own claim: certified early stop for
+	// the engine, quiescence before the deadline for the simulator and
+	// the live network.
+	Converged bool
+	// Stable reports whether the final state is a σ fixed point of the
+	// post-event topology.
+	Stable bool
+	// ReferenceOK (engine only) reports that every event-boundary state
+	// and the final state were bit-identical to async.RunReference run
+	// segment by segment on each intermediate topology.
+	ReferenceOK bool
+	// Certified (Wedged verdicts only) reports that the bisimulation
+	// certifier confirmed the wedge against an independently rebuilt
+	// post-event instance.
+	Certified bool
+	// Class is the watchdog's verdict on the final state.
+	Class Classification
+	// FinalTable is the formatted routing table (instances of ≤ 12 nodes).
+	FinalTable string
+}
+
+// Report collects per-substrate outcomes for one scenario.
+type Report struct {
+	Scenario   *Scenario
+	Substrates []SubstrateReport
+}
+
+// String renders a human-readable report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s: %d event(s), horizon %d\n", r.Scenario.Name, len(r.Scenario.Events), r.Scenario.Horizon)
+	for _, s := range r.Substrates {
+		fmt.Fprintf(&b, "  %-6s verdict=%s converged=%v stable=%v", s.Substrate, s.Class.Verdict, s.Converged, s.Stable)
+		if s.Substrate == SubEngine {
+			fmt.Fprintf(&b, " reference=%v", s.ReferenceOK)
+		}
+		if s.Class.Verdict == VerdictWedged {
+			fmt.Fprintf(&b, " certified=%v", s.Certified)
+		}
+		fmt.Fprintf(&b, " (%s)\n", s.Class.Detail)
+	}
+	return b.String()
+}
+
+// Run validates the scenario and plays its timeline on the named
+// substrates ("engine", "sim", "dist"); with none named, only the
+// engine runs. Every substrate gets a freshly built instance, so policy
+// edits on one can never leak into another.
+func Run(sc *Scenario, substrates ...string) (*Report, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if len(substrates) == 0 {
+		substrates = []string{SubEngine}
+	}
+	for _, s := range substrates {
+		switch s {
+		case SubEngine, SubSim, SubDist:
+		default:
+			return nil, fmt.Errorf("scenario: unknown substrate %q", s)
+		}
+	}
+	if sc.Spec.Gadget != "" {
+		return runFamily(sc, substrates, buildGadget)
+	}
+	return runFamily(sc, substrates, buildTopo)
+}
+
+func runFamily[R any](sc *Scenario, subs []string, build func(*Scenario) (*instance[R], error)) (*Report, error) {
+	rep := &Report{Scenario: sc}
+	for _, s := range subs {
+		var sr SubstrateReport
+		var err error
+		switch s {
+		case SubEngine:
+			sr, err = runEngine(sc, build)
+		case SubSim:
+			sr, err = runSimulate(sc, build)
+		case SubDist:
+			sr, err = runDist(sc, build)
+		}
+		if err != nil {
+			return nil, err
+		}
+		rep.Substrates = append(rep.Substrates, sr)
+	}
+	return rep, nil
+}
+
+// replayReference replays the timeline with the literal Section 3.1
+// evaluator: a fresh async.RunReference per segment on that segment's
+// topology, restarts and mutations applied by hand at the boundaries.
+// Returns the state at each event step and the final state — the exact
+// oracle for engine.Result.Marks() and Final() under the clamped plan.
+func replayReference[R any](in *instance[R], p *plan, events []Event) (bounds []*matrix.State[R], final *matrix.State[R]) {
+	cur := in.start
+	for s, seg := range p.segs {
+		if seg.T > 0 {
+			hist := async.RunReference(in.alg, in.adj, cur, seg)
+			cur = hist[len(hist)-1]
+		}
+		if s < len(events) {
+			ev := events[s]
+			next := cur.Clone()
+			if ev.Kind == Restart {
+				row := make([]R, in.n)
+				for j := range row {
+					row[j] = in.alg.Invalid()
+				}
+				row[ev.Node] = in.alg.Trivial()
+				next.SetRow(ev.Node, row)
+			} else {
+				in.apply(ev, in.adj)
+			}
+			cur = next
+			bounds = append(bounds, cur)
+		}
+	}
+	return bounds, cur
+}
+
+// finish classifies a finished run: the caller guarantees inst.adj holds
+// the post-event topology. It fills the verdict, σ-stability, the
+// formatted table, and — for wedges — the bisimulation certificate.
+func finish[R any](sc *Scenario, build func(*Scenario) (*instance[R], error),
+	inst *instance[R], final *matrix.State[R], sr *SubstrateReport) error {
+	wd := Watchdog[R]{Alg: inst.alg, Adj: inst.adj, Measure: inst.measure}
+	if sc.StartStable > 0 {
+		wd.Intended = inst.start
+	}
+	sr.Class = wd.Classify(final)
+	sr.Stable = matrix.IsStable(inst.alg, inst.adj, final)
+	if inst.n <= 12 {
+		sr.FinalTable = final.Format(inst.alg)
+	}
+	if sr.Class.Verdict == VerdictWedged {
+		rebuilt, err := build(sc)
+		if err != nil {
+			return err
+		}
+		for _, ev := range sc.Events {
+			if ev.Kind != Restart {
+				rebuilt.apply(ev, rebuilt.adj)
+			}
+		}
+		fp, ok := settle(inst, final, wd.MaxRounds)
+		if ok {
+			_, sr.Certified = certifyWedged(inst, rebuilt, fp, inst.start, sc.Seed)
+		}
+	}
+	return nil
+}
+
+// settle iterates σ to the orbit's fixed point (the state a Wedged or
+// Converged verdict is about), bounded like the watchdog.
+func settle[R any](in *instance[R], x *matrix.State[R], maxRounds int) (*matrix.State[R], bool) {
+	if maxRounds == 0 {
+		maxRounds = 4*in.n + 64
+	}
+	cur := x
+	for r := 0; r < maxRounds; r++ {
+		next := matrix.Sigma(in.alg, in.adj, cur)
+		if next.Equal(in.alg, cur) {
+			return cur, true
+		}
+		cur = next
+	}
+	return cur, false
+}
+
+// runEngine plays the timeline on the stepped δ engine under the
+// clamped segmented schedule and differential-checks every event
+// boundary and the final state against the literal reference evaluator.
+func runEngine[R any](sc *Scenario, build func(*Scenario) (*instance[R], error)) (SubstrateReport, error) {
+	sr := SubstrateReport{Substrate: SubEngine}
+	inst, err := build(sc)
+	if err != nil {
+		return sr, err
+	}
+	p := newPlan(sc, inst.n)
+	eng := engine.New(inst.alg, inst.adj, engine.Config{})
+	defer eng.Close()
+	res := eng.RunTimeline(inst.start, p, inst.timeline(sc.Events))
+	_, sr.Converged = res.Converged()
+
+	ref, err := build(sc)
+	if err != nil {
+		return sr, err
+	}
+	bounds, refFinal := replayReference(ref, p, sc.Events)
+	marks := res.Marks()
+	sr.ReferenceOK = len(marks) == len(bounds) && res.Final().Equal(inst.alg, refFinal)
+	if sr.ReferenceOK {
+		for i := range marks {
+			if !marks[i].Equal(inst.alg, bounds[i]) {
+				sr.ReferenceOK = false
+				break
+			}
+		}
+	}
+	err = finish(sc, build, inst, res.Final(), &sr)
+	return sr, err
+}
+
+// runSimulate plays the timeline on the event-driven simulator, mapping
+// step s to virtual time s·simTick.
+func runSimulate[R any](sc *Scenario, build func(*Scenario) (*instance[R], error)) (SubstrateReport, error) {
+	sr := SubstrateReport{Substrate: SubSim}
+	inst, err := build(sc)
+	if err != nil {
+		return sr, err
+	}
+	cfg := simulate.Config{
+		Seed:     sc.Seed,
+		LossProb: sc.LossProb,
+		DupProb:  sc.DupProb,
+		MaxTime:  int64(sc.Horizon)*simTick + 60_000,
+	}
+	var changes []simulate.Change[R]
+	for _, ev := range sc.Events {
+		ev := ev
+		if ev.Kind == Restart {
+			cfg.Restarts = append(cfg.Restarts, simulate.Restart{Time: int64(ev.Step) * simTick, Node: ev.Node})
+			continue
+		}
+		changes = append(changes, simulate.Change[R]{
+			Time:   int64(ev.Step) * simTick,
+			Mutate: func(adj *matrix.Adjacency[R]) { inst.apply(ev, adj) },
+		})
+	}
+	out := simulate.RunDynamic(inst.alg, inst.adj, inst.start, cfg, nil, changes)
+	sr.Converged = out.Converged
+	// The simulator mutated its private clone; bring the instance's
+	// adjacency to the post-event topology for classification (every
+	// event kind is idempotent, so replaying rank edits is harmless).
+	for _, ev := range sc.Events {
+		if ev.Kind != Restart {
+			inst.apply(ev, inst.adj)
+		}
+	}
+	err = finish(sc, build, inst, out.Final, &sr)
+	return sr, err
+}
+
+// runDist plays the timeline against the live goroutine-per-router
+// network, mapping step s to wall-clock time s·distStep: restarts ride
+// the Config.Restarts hook, everything else is scheduled through
+// ApplyAfter onto the network's live mutators. Quiescence is withheld
+// until every scheduled fault has fired.
+func runDist[R any](sc *Scenario, build func(*Scenario) (*instance[R], error)) (SubstrateReport, error) {
+	sr := SubstrateReport{Substrate: SubDist}
+	inst, err := build(sc)
+	if err != nil {
+		return sr, err
+	}
+	cfg := dist.Config{
+		Seed:     sc.Seed,
+		LossProb: sc.LossProb,
+		DupProb:  sc.DupProb,
+	}
+	for _, ev := range sc.Events {
+		if ev.Kind == Restart {
+			cfg.Restarts = append(cfg.Restarts, dist.Restart{After: time.Duration(ev.Step) * distStep, Node: ev.Node})
+		}
+	}
+	tr := transport.NewMemory(inst.n, sc.Seed, cfg.Faults())
+	nw := dist.NewNetwork(inst.alg, inst.adj, inst.start, inst.codec, tr, cfg)
+	for _, ev := range sc.Events {
+		ev := ev
+		if ev.Kind == Restart {
+			continue
+		}
+		nw.ApplyAfter(time.Duration(ev.Step)*distStep, func(nw *dist.Network[R]) {
+			applyLive(inst, nw, ev)
+		})
+	}
+	out := nw.Run(context.Background())
+	tr.Close()
+	sr.Converged = out.Converged
+	for _, ev := range sc.Events {
+		if ev.Kind != Restart {
+			inst.apply(ev, inst.adj)
+		}
+	}
+	err = finish(sc, build, inst, out.Final, &sr)
+	return sr, err
+}
+
+// applyLive plays one event against a running network through its
+// locked mutators.
+func applyLive[R any](in *instance[R], nw *dist.Network[R], ev Event) {
+	switch ev.Kind {
+	case LinkDown:
+		nw.RemoveEdge(ev.A, ev.B)
+		nw.RemoveEdge(ev.B, ev.A)
+	case LinkUp:
+		if e, ok := in.prist.Edge(ev.A, ev.B); ok {
+			nw.SetEdge(ev.A, ev.B, e)
+		}
+		if e, ok := in.prist.Edge(ev.B, ev.A); ok {
+			nw.SetEdge(ev.B, ev.A, e)
+		}
+	case SetWeight:
+		nw.SetEdge(ev.A, ev.B, in.weightEdge(ev.Weight))
+		nw.SetEdge(ev.B, ev.A, in.weightEdge(ev.Weight))
+	case SetRank:
+		nw.Mutate(func() { in.spp.SetRank(ev.Rank, ev.Path...) })
+	}
+}

@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// acceptanceScenario is the PR's acceptance timeline: a link failure, a
+// node restart, a live policy edit and a link recovery — four mid-run
+// events from one scenario spec, played on all three substrates. The
+// rank edit demotes node 3's peer path from rank 2 to rank 3, which
+// leaves every stable state intact, so all substrates must settle — in
+// the wedged state, because the run starts from the engineered one and
+// flaps the primary link.
+const acceptanceScenario = `scenario wedgie-full-churn
+gadget wedgie
+start stable 0
+seed 5
+horizon 140
+at 30 linkdown 3 0
+at 55 restart 2
+at 70 rank 3 3 2 1 0
+at 85 linkup 3 0
+`
+
+// TestScenarioAllSubstrates runs the acceptance timeline everywhere:
+// the stepped engine (bit-identical to the literal reference on every
+// segment), the event simulator and the live network. Every substrate
+// must quiesce on a σ-stable state and the watchdog must call the
+// outcome wedged, certified by the bisimulation check.
+func TestScenarioAllSubstrates(t *testing.T) {
+	sc, err := Parse([]byte(acceptanceScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Events) < 3 {
+		t.Fatalf("acceptance scenario needs ≥ 3 events, has %d", len(sc.Events))
+	}
+	rep, err := Run(sc, SubEngine, SubSim, SubDist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Substrates) != 3 {
+		t.Fatalf("expected 3 substrate reports, got %d", len(rep.Substrates))
+	}
+	for _, sr := range rep.Substrates {
+		if sr.Substrate == SubEngine && !sr.ReferenceOK {
+			t.Errorf("engine diverged from the segment-wise reference\n%s", rep)
+		}
+		if sr.Substrate != SubEngine && !sr.Converged {
+			t.Errorf("%s did not quiesce\n%s", sr.Substrate, rep)
+		}
+		if !sr.Stable {
+			t.Errorf("%s final state is not σ-stable\n%s", sr.Substrate, rep)
+		}
+		if sr.Class.Verdict != VerdictWedged {
+			t.Errorf("%s verdict = %s, want wedged\n%s", sr.Substrate, sr.Class.Verdict, rep)
+		}
+		if sr.Class.Verdict == VerdictWedged && !sr.Certified {
+			t.Errorf("%s wedge not certified\n%s", sr.Substrate, rep)
+		}
+	}
+	// One timeline, three substrates, one wedged state: the simulator
+	// and live network must land on the very state the engine (and its
+	// reference) computed.
+	eng, sim, dst := rep.Substrates[0], rep.Substrates[1], rep.Substrates[2]
+	if eng.FinalTable != sim.FinalTable || eng.FinalTable != dst.FinalTable {
+		t.Errorf("substrates settled on different states:\nengine:\n%s\nsim:\n%s\ndist:\n%s",
+			eng.FinalTable, sim.FinalTable, dst.FinalTable)
+	}
+}
+
+// TestScenarioTopoAcrossSubstrates: the same cross-substrate agreement
+// for the topo family — RIP on a ring with a failure, a weight edit and
+// a restart must converge everywhere (Theorem 7) onto one fixed point.
+func TestScenarioTopoAcrossSubstrates(t *testing.T) {
+	sc, err := Parse([]byte(`scenario rip-churn
+topo ring 6 rip
+seed 9
+horizon 160
+at 30 linkdown 0 1
+at 60 weight 3 2 3
+at 90 restart 4
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(sc, SubEngine, SubSim, SubDist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sr := range rep.Substrates {
+		if sr.Substrate == SubEngine && !sr.ReferenceOK {
+			t.Errorf("engine diverged from the reference\n%s", rep)
+		}
+		if sr.Class.Verdict != VerdictConverged || !sr.Stable {
+			t.Errorf("%s: verdict=%s stable=%v, want converged+stable\n%s",
+				sr.Substrate, sr.Class.Verdict, sr.Stable, rep)
+		}
+	}
+	eng, sim, dst := rep.Substrates[0], rep.Substrates[1], rep.Substrates[2]
+	if eng.FinalTable != sim.FinalTable || eng.FinalTable != dst.FinalTable {
+		t.Errorf("substrates settled on different fixed points:\nengine:\n%s\nsim:\n%s\ndist:\n%s",
+			eng.FinalTable, sim.FinalTable, dst.FinalTable)
+	}
+}
+
+// TestScenarioLongHorizon: the engine stays bit-identical to the
+// reference across a long post-event tail. Scenario plans are
+// materialised segment by segment, so they make no fairness promise and
+// the engine grinds to the horizon — which is exactly what keeps the
+// segment-wise reference an exact oracle.
+func TestScenarioLongHorizon(t *testing.T) {
+	sc, err := Parse([]byte("scenario quick\ntopo ring 8 rip\nseed 2\nhorizon 2000\nat 100 linkdown 0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(sc, SubEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := rep.Substrates[0]
+	if !sr.ReferenceOK || sr.Class.Verdict != VerdictConverged || !sr.Stable {
+		t.Fatalf("post-event run: reference=%v verdict=%s stable=%v", sr.ReferenceOK, sr.Class.Verdict, sr.Stable)
+	}
+}

@@ -1,0 +1,86 @@
+package scenario
+
+// Shrink greedily minimises a failing scenario while the predicate keeps
+// failing (failing(sc) == true means "still exhibits the bug"): it
+// drops events one by one, zeroes the message-fault knobs, pulls event
+// steps earlier, and cuts the horizon down toward the last event — then
+// repeats until no single reduction preserves the failure. The result
+// is 1-minimal with respect to these reductions: removing any single
+// event, or any of the other simplifications, makes the failure vanish.
+//
+// The predicate receives private clones and must be deterministic
+// (scenario runs are, for a fixed seed); Shrink never mutates sc.
+func Shrink(sc *Scenario, failing func(*Scenario) bool) *Scenario {
+	cur := sc.Clone()
+	if !failing(cur.Clone()) {
+		return cur
+	}
+	try := func(cand *Scenario) bool {
+		if cand.Validate() != nil {
+			return false
+		}
+		if !failing(cand.Clone()) {
+			return false
+		}
+		cur = cand
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		// Drop events, scanning from the back so indices stay valid.
+		for i := len(cur.Events) - 1; i >= 0; i-- {
+			cand := cur.Clone()
+			cand.Events = append(cand.Events[:i], cand.Events[i+1:]...)
+			if try(cand) {
+				changed = true
+			}
+		}
+		// Zero the knob noise.
+		if cur.LossProb != 0 || cur.DupProb != 0 {
+			cand := cur.Clone()
+			cand.LossProb, cand.DupProb = 0, 0
+			if try(cand) {
+				changed = true
+			}
+		}
+		if cur.ActProb != 0 || cur.MaxStaleness != 0 {
+			cand := cur.Clone()
+			cand.ActProb, cand.MaxStaleness = 0, 0
+			if try(cand) {
+				changed = true
+			}
+		}
+		// Pull each event step toward its predecessor (halving the gap).
+		for i := range cur.Events {
+			prev := 0
+			if i > 0 {
+				prev = cur.Events[i-1].Step
+			}
+			for cur.Events[i].Step > prev+1 {
+				cand := cur.Clone()
+				cand.Events[i].Step = prev + 1 + (cand.Events[i].Step-prev-1)/2
+				if cand.Events[i].Step >= cur.Events[i].Step || !try(cand) {
+					break
+				}
+				changed = true
+			}
+		}
+		// Cut the horizon toward the last event.
+		minH := 1
+		if len(cur.Events) > 0 {
+			minH = cur.Events[len(cur.Events)-1].Step
+		}
+		for lo, hi := minH, cur.Horizon; lo < hi; {
+			mid := (lo + hi) / 2
+			cand := cur.Clone()
+			cand.Horizon = mid
+			if try(cand) {
+				changed = true
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+	}
+	return cur
+}

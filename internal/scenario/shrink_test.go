@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// wedgedOnEngine is the shrink predicate: the timeline still drives the
+// engine into a certified wedge.
+func wedgedOnEngine(sc *Scenario) bool {
+	rep, err := Run(sc, SubEngine)
+	if err != nil {
+		return false
+	}
+	sr := rep.Substrates[0]
+	return sr.ReferenceOK && sr.Class.Verdict == VerdictWedged
+}
+
+// TestShrinkWedgieFlap shrinks a bloated non-convergent timeline — the
+// wedgie flap padded with a restart, a rank edit, heavy message faults
+// and a long tail — down to its minimal reproducer: the bare link flap
+// with every knob zeroed. The minimal scenario is committed under
+// testdata/corpus and must stay in sync with what Shrink produces.
+func TestShrinkWedgieFlap(t *testing.T) {
+	bloated := []byte(`scenario wedgie-lossy
+gadget wedgie
+start stable 0
+seed 13
+horizon 200
+loss 0.3
+dup 0.2
+at 20 linkdown 3 0
+at 45 restart 2
+at 70 rank 3 3 2 1 0
+at 95 linkup 3 0
+`)
+	sc, err := Parse(bloated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wedgedOnEngine(sc) {
+		t.Fatal("bloated scenario does not wedge; nothing to shrink")
+	}
+	min := Shrink(sc, wedgedOnEngine)
+	if !wedgedOnEngine(min) {
+		t.Fatalf("shrunk scenario no longer wedges:\n%s", min.Encode())
+	}
+	if len(min.Events) != 2 || min.Events[0].Kind != LinkDown || min.Events[1].Kind != LinkUp {
+		t.Fatalf("minimal reproducer should be the bare link flap, got:\n%s", min.Encode())
+	}
+	if min.LossProb != 0 || min.DupProb != 0 {
+		t.Fatalf("message faults should shrink away, got loss=%v dup=%v", min.LossProb, min.DupProb)
+	}
+	if min.Horizon >= sc.Horizon {
+		t.Fatalf("horizon did not shrink: %d", min.Horizon)
+	}
+
+	golden := "testdata/corpus/wedgie-minimal.scenario"
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("committed minimal reproducer missing: %v\n(shrink produced)\n%s", err, min.Encode())
+	}
+	if !bytes.Equal(min.Encode(), want) {
+		t.Fatalf("shrink output drifted from the committed reproducer:\ngot\n%s\nwant\n%s", min.Encode(), want)
+	}
+	// The committed reproducer must itself parse and still fail.
+	rsc, err := Parse(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wedgedOnEngine(rsc) {
+		t.Fatal("committed reproducer no longer wedges")
+	}
+}

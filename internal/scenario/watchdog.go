@@ -1,0 +1,182 @@
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"repro/internal/bisim"
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// Verdict classifies how a run ended, judged by the σ-orbit of its
+// final state on its final topology.
+type Verdict uint8
+
+const (
+	// VerdictUndecided means the classification budget expired without a
+	// fixed point, a cycle, or a growth signature.
+	VerdictUndecided Verdict = iota
+	// VerdictConverged means the orbit reaches a σ fixed point (and it is
+	// the engineered one, when the scenario designated one).
+	VerdictConverged
+	// VerdictWedged means the orbit reaches a σ fixed point different
+	// from the scenario's engineered stable state while that state is
+	// still stable on the final topology — the RFC 4264 outcome: only
+	// manual intervention, not further convergence, can restore it.
+	VerdictWedged
+	// VerdictOscillating means the orbit revisits a state: a persistent
+	// oscillation of period ≥ 2 (RFC 3345).
+	VerdictOscillating
+	// VerdictDiverging means the orbit's total finite measure grew
+	// monotonically to the budget — the count-to-infinity signature.
+	VerdictDiverging
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictConverged:
+		return "converged"
+	case VerdictWedged:
+		return "wedged"
+	case VerdictOscillating:
+		return "oscillating"
+	case VerdictDiverging:
+		return "diverging"
+	}
+	return "undecided"
+}
+
+// Classification is a watchdog verdict with its evidence.
+type Classification struct {
+	Verdict Verdict
+	// Period is the orbit cycle length (Oscillating only).
+	Period int
+	// Rounds is how many σ rounds the classifier ran.
+	Rounds int
+	// Detail is a one-line human-readable justification.
+	Detail string
+}
+
+// Watchdog classifies final states by iterating σ and hashing the
+// orbit — gadgets.DetectCycle generalised from SPP instances to any
+// algebra/adjacency the engine can run. States are fingerprinted with
+// FNV-1a over their formatted cells and verified with Equal on hash
+// hits, so a collision can never fake a cycle.
+type Watchdog[R any] struct {
+	Alg core.Algebra[R]
+	Adj *matrix.Adjacency[R]
+	// Intended, when non-nil, is the engineered stable state; reaching a
+	// different fixed point while Intended is still σ-stable is a wedge.
+	Intended *matrix.State[R]
+	// Measure maps a route to a finite size (false = invalid); monotone
+	// growth of the total across the whole budget is divergence. Nil
+	// disables the count-to-infinity detector.
+	Measure func(R) (int64, bool)
+	// MaxRounds bounds the orbit (default 4n + 64).
+	MaxRounds int
+}
+
+// hash fingerprints a state.
+func (w Watchdog[R]) hash(x *matrix.State[R]) uint64 {
+	h := fnv.New64a()
+	x.Each(func(i, j int, r R) {
+		h.Write([]byte(w.Alg.Format(r)))
+		h.Write([]byte{0})
+	})
+	return h.Sum64()
+}
+
+// growthRounds is how many consecutive growing rounds at the end of the
+// budget count as divergence.
+const growthRounds = 8
+
+// Classify follows the σ-orbit of x.
+func (w Watchdog[R]) Classify(x *matrix.State[R]) Classification {
+	n := w.Adj.N
+	max := w.MaxRounds
+	if max == 0 {
+		max = 4*n + 64
+	}
+	seen := map[uint64][]int{w.hash(x): {0}}
+	states := []*matrix.State[R]{x}
+	cur := x
+	growth, lastTotal := 0, int64(-1)
+	for r := 1; r <= max; r++ {
+		next := matrix.Sigma(w.Alg, w.Adj, cur)
+		if next.Equal(w.Alg, cur) {
+			if w.Intended != nil && !cur.Equal(w.Alg, w.Intended) &&
+				matrix.IsStable(w.Alg, w.Adj, w.Intended) {
+				return Classification{
+					Verdict: VerdictWedged, Rounds: r,
+					Detail: "σ fixed point differs from the engineered stable state, which is still stable",
+				}
+			}
+			return Classification{Verdict: VerdictConverged, Rounds: r, Detail: "σ fixed point reached"}
+		}
+		h := w.hash(next)
+		for _, idx := range seen[h] {
+			if next.Equal(w.Alg, states[idx]) {
+				return Classification{
+					Verdict: VerdictOscillating, Period: len(states) - idx, Rounds: r,
+					Detail: fmt.Sprintf("orbit revisits round %d (period %d)", idx, len(states)-idx),
+				}
+			}
+		}
+		seen[h] = append(seen[h], len(states))
+		states = append(states, next)
+		if w.Measure != nil {
+			var total int64
+			next.Each(func(i, j int, rr R) {
+				if v, ok := w.Measure(rr); ok {
+					total += v
+				}
+			})
+			if lastTotal >= 0 && total > lastTotal {
+				growth++
+			} else if lastTotal >= 0 {
+				growth = 0
+			}
+			lastTotal = total
+		}
+		cur = next
+	}
+	if growth >= growthRounds {
+		return Classification{
+			Verdict: VerdictDiverging, Rounds: max,
+			Detail: fmt.Sprintf("total finite measure grew for the last %d rounds (count-to-infinity)", growth),
+		}
+	}
+	return Classification{Verdict: VerdictUndecided, Rounds: max, Detail: "budget expired without a verdict"}
+}
+
+// certifyWedged double-checks a Wedged verdict through the Section 8.4
+// bisimulation machinery: the live instance — whose adjacency and policy
+// state were mutated in place during the run — is checked bisimilar
+// (under the identity mapping) to an independently rebuilt post-event
+// instance, and the wedged state must be σ-stable on both sides while
+// the engineered state stays σ-stable too. A passing check proves the
+// wedge is a property of the post-event problem instance, not an
+// artifact of in-place mutation: every σ-trajectory of the live system
+// is matched step for step by the rebuilt one.
+func certifyWedged[R any](
+	live, rebuilt *instance[R],
+	wedged, intended *matrix.State[R],
+	seed int64,
+) (bisim.Report, bool) {
+	p := bisim.Pair[R, R]{
+		AlgA: live.alg, AlgB: rebuilt.alg,
+		AdjA: live.adj, AdjB: rebuilt.adj,
+		H: func(r R) R { return r },
+	}
+	sample := live.sample
+	gen := func(rng *rand.Rand, _, _ int) R { return sample[rng.Intn(len(sample))] }
+	rep := bisim.Check(p, sample, gen, rand.New(rand.NewSource(seed)), 8, 6)
+	ok := rep.OK() &&
+		matrix.IsStable(live.alg, live.adj, wedged) &&
+		matrix.IsStable(rebuilt.alg, rebuilt.adj, wedged) &&
+		matrix.IsStable(rebuilt.alg, rebuilt.adj, intended) &&
+		!wedged.Equal(live.alg, intended)
+	return rep, ok
+}

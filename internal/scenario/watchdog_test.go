@@ -1,0 +1,148 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/gadgets"
+)
+
+// intendedWedgieIndex locates the intended stable state of the wedgie —
+// the one where node 1 reaches the destination over the primary path
+// 1→2→3→0 — in gadgets.StableStates order, and asserts it is index 0 so
+// scenario files can say "start stable 0".
+func intendedWedgieIndex(t *testing.T) int {
+	t.Helper()
+	s := gadgets.Wedgie()
+	states := gadgets.StableStates(s)
+	if len(states) != 2 {
+		t.Fatalf("wedgie should have 2 stable states, got %d", len(states))
+	}
+	for k, st := range states {
+		if st.Get(1, 0).Path.Len() == 3 { // 1→2→3→0: three arcs
+			if k != 0 {
+				t.Fatalf("intended state is index %d; scenario files assume 0", k)
+			}
+			return k
+		}
+	}
+	t.Fatal("no stable state routes node 1 over the primary path")
+	return -1
+}
+
+// TestWatchdogGadgetTaxonomy is the verdict matrix the issue demands:
+// the wedgie flap wedges, count-to-infinity diverges, BadGadget
+// oscillates, GoodGadget converges — each classified by the watchdog on
+// a real engine run of a scenario timeline.
+func TestWatchdogGadgetTaxonomy(t *testing.T) {
+	intendedWedgieIndex(t)
+
+	cases := []struct {
+		name string
+		src  string
+		want Verdict
+	}{
+		{"wedgie-flap", `scenario wedgie-flap
+gadget wedgie
+start stable 0
+seed 7
+horizon 120
+at 30 linkdown 3 0
+at 60 linkup 3 0
+`, VerdictWedged},
+		{"countinfinity", `scenario countinfinity
+topo line 3 shortest
+seed 3
+horizon 160
+at 40 linkdown 1 2
+`, VerdictDiverging},
+		{"badgadget", `scenario badgadget-churn
+gadget badgadget
+seed 11
+horizon 120
+at 40 restart 2
+`, VerdictOscillating},
+		{"goodgadget", `scenario goodgadget-churn
+gadget goodgadget
+seed 11
+horizon 120
+at 40 restart 2
+`, VerdictConverged},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, err := Parse([]byte(tc.src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Run(sc, SubEngine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sr := rep.Substrates[0]
+			if !sr.ReferenceOK {
+				t.Fatalf("engine diverged from the segment-wise reference\n%s", rep)
+			}
+			if sr.Class.Verdict != tc.want {
+				t.Fatalf("verdict = %s, want %s\n%s", sr.Class.Verdict, tc.want, rep)
+			}
+			if tc.want == VerdictWedged && !sr.Certified {
+				t.Fatalf("wedge not certified by the bisimulation check\n%s", rep)
+			}
+		})
+	}
+}
+
+// TestWatchdogDirect exercises Classify straight on hand-built states:
+// the orbit from the RFC 4264 post-flap state must be Wedged against the
+// intended state, and the intended state itself must be Converged.
+func TestWatchdogDirect(t *testing.T) {
+	s := gadgets.Wedgie()
+	alg := gadgets.Algebra{S: s}
+	adj := alg.Adjacency()
+	states := gadgets.StableStates(s)
+	intended := states[intendedWedgieIndex(t)]
+
+	wd := Watchdog[gadgets.Route]{Alg: alg, Adj: adj, Intended: intended}
+	cls := wd.Classify(gadgets.WedgedStart(s))
+	if cls.Verdict != VerdictWedged {
+		t.Fatalf("post-flap orbit: %s (%s), want wedged", cls.Verdict, cls.Detail)
+	}
+	if cls = wd.Classify(intended.Clone()); cls.Verdict != VerdictConverged {
+		t.Fatalf("intended state orbit: %s, want converged", cls.Verdict)
+	}
+
+	// Without a designated intended state the same orbit is just a
+	// convergence.
+	wd.Intended = nil
+	if cls = wd.Classify(gadgets.WedgedStart(s)); cls.Verdict != VerdictConverged {
+		t.Fatalf("unjudged orbit: %s, want converged", cls.Verdict)
+	}
+}
+
+// TestWatchdogOscillationPeriod: synchronous DISAGREE from the clean
+// start is the textbook period-2 oscillation.
+func TestWatchdogOscillationPeriod(t *testing.T) {
+	s := gadgets.Disagree()
+	alg := gadgets.Algebra{S: s}
+	wd := Watchdog[gadgets.Route]{Alg: alg, Adj: alg.Adjacency()}
+	cls := wd.Classify(gadgets.InitialState(s))
+	if cls.Verdict != VerdictOscillating || cls.Period != 2 {
+		t.Fatalf("disagree clean-start orbit: %s period %d, want oscillating period 2", cls.Verdict, cls.Period)
+	}
+}
+
+// TestWatchdogMeasureGuard: a converging instance with a measure hook
+// must not be misread as diverging.
+func TestWatchdogMeasureGuard(t *testing.T) {
+	sc, err := Parse([]byte("topo line 3 rip\nseed 3\nhorizon 160\nat 40 linkdown 1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(sc, SubEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rep.Substrates[0].Class.Verdict; v != VerdictConverged {
+		t.Fatalf("RIP after link failure: %s, want converged (Theorem 7)", v)
+	}
+}

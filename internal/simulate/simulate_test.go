@@ -1,7 +1,9 @@
 package simulate
 
 import (
+	"bytes"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/algebras"
@@ -193,5 +195,50 @@ func TestRunTracedRecordsEvents(t *testing.T) {
 	}
 	if rec.LastChange() != out.ConvergedAt {
 		t.Errorf("recorder last change %d, outcome %d", rec.LastChange(), out.ConvergedAt)
+	}
+}
+
+// TestSimulatorTraceDeterminism: two runs with equal seed and nonzero
+// loss, duplication and restarts must be indistinguishable down to the
+// rendered trace — the determinism that makes scenario fuzzing and
+// shrinking sound. Stats, finals, the raw event list and the rendered
+// timeline/summary must all be byte-identical.
+func TestSimulatorTraceDeterminism(t *testing.T) {
+	alg, adj := ripNet()
+	u := alg.Universe()
+	gen := func(rng *rand.Rand) algebras.NatInf { return u[rng.Intn(len(u))] }
+	cfg := Config{
+		Seed:     77,
+		LossProb: 0.25,
+		DupProb:  0.15,
+		Restarts: []Restart{{Time: 60, Node: 1}, {Time: 140, Node: 3}},
+	}
+	run := func() (Outcome[algebras.NatInf], *trace.Recorder) {
+		rec := &trace.Recorder{}
+		out := RunTraced[algebras.NatInf](alg, adj, matrix.Identity[algebras.NatInf](alg, 4), cfg, gen, nil, rec)
+		return out, rec
+	}
+	a, ra := run()
+	b, rb := run()
+	if a.Stats != b.Stats || a.EndTime != b.EndTime || a.ConvergedAt != b.ConvergedAt {
+		t.Fatalf("same seed, different outcomes: %+v vs %+v", a.Stats, b.Stats)
+	}
+	if a.Stats.Dropped == 0 || a.Stats.Duplicated == 0 {
+		t.Fatal("fault injection inactive; the test is vacuous")
+	}
+	if !a.Final.Equal(alg, b.Final) {
+		t.Fatal("same seed, different final states")
+	}
+	if !reflect.DeepEqual(ra.Events, rb.Events) {
+		t.Fatal("same seed, different event streams")
+	}
+	render := func(r *trace.Recorder) []byte {
+		var buf bytes.Buffer
+		r.Timeline(&buf, len(r.Events))
+		r.Summary(&buf)
+		return buf.Bytes()
+	}
+	if !bytes.Equal(render(ra), render(rb)) {
+		t.Fatal("same seed, different rendered traces")
 	}
 }
