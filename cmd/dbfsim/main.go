@@ -7,6 +7,8 @@
 //	dbfsim -algebra policy -policy 'addc(3); if (comm(3)) { lp+=2 }'
 //	dbfsim -algebra gr -topo fattree -n 4 -mode delta -steps 2000
 //	dbfsim -scenario examples/scenarios/wedgie-flap.scenario -substrate all
+//	dbfsim -mode delta -checkpoint run.ckpt -checkpoint-at 150
+//	dbfsim -resume run.ckpt
 //
 // Algebras: shortest, rip, widest, pv (path-tracked shortest), gr
 // (Gao–Rexford tiers), policy (the Section 7 language; see -policy).
@@ -14,10 +16,16 @@
 // Modes: sim (the event-driven message-passing simulator) and delta (the
 // sharded, memory-bounded δ engine over a random (α, β) schedule).
 // With -scenario, dbfsim instead plays a dynamic-event timeline (link
-// failures, restarts, live policy edits) from a scenario file on the
-// substrates named by -substrate (engine, sim, dist, or all) and prints
-// each substrate's watchdog verdict; the exit code is 0 only when every
-// substrate converged.
+// failures, restarts, node crashes, live policy edits) from a scenario
+// file on the substrates named by -substrate (engine, sim, dist, or all)
+// and prints each substrate's watchdog verdict; the exit code is 0 only
+// when every substrate converged.
+// With -checkpoint (delta mode), the run halts right after step
+// -checkpoint-at (default T/2) and writes a CRC-checksummed resumable
+// checkpoint; -resume continues such a run to its horizon, rebuilding
+// the instance from the checkpoint's own metadata — no other flags
+// needed — and the continuation is bit-identical to the run that was
+// never interrupted.
 // The path-aware algebras (pv, policy) run over hash-consed interned
 // paths by default; -intern=false selects the reference []Arc carrier
 // and disables the engine's pooled-scratch/memo fast paths, for A/B
@@ -34,8 +42,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 
 	"repro/internal/algebras"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/gaorexford"
@@ -46,6 +56,7 @@ import (
 	"repro/internal/simulate"
 	"repro/internal/topology"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 func main() { os.Exit(realMain()) }
@@ -79,6 +90,12 @@ func realMain() int {
 			"play a dynamic-event scenario file instead of a static run (see internal/scenario)")
 		substrate = flag.String("substrate", "engine",
 			"scenario mode: substrate(s) to play the timeline on: engine|sim|dist|all")
+		ckptFile = flag.String("checkpoint", "",
+			"delta mode: halt right after step -checkpoint-at and write a resumable checkpoint to this file")
+		ckptAt = flag.Int("checkpoint-at", 0,
+			"delta mode: step to checkpoint at (default T/2)")
+		resumeFile = flag.String("resume", "",
+			"resume a checkpointed delta run to its horizon; the instance is rebuilt from the checkpoint's metadata and all other instance flags are ignored")
 	)
 	flag.Parse()
 
@@ -113,6 +130,46 @@ func realMain() int {
 		return runScenario(*scenFile, *substrate)
 	}
 
+	if *resumeFile != "" {
+		if *ckptFile != "" {
+			fmt.Fprintln(os.Stderr, "-checkpoint and -resume cannot be combined")
+			return 2
+		}
+		data, err := os.ReadFile(*resumeFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		family, meta, err := checkpoint.Header(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		// Rebuild the instance exactly as the checkpointing run shaped it:
+		// every knob that affects the algebra, topology or schedule comes
+		// from the checkpoint's own metadata, not this invocation's flags.
+		for key, dst := range map[string]*string{"algebra": algebra, "topo": topo, "policy": polSrc} {
+			if v, ok := meta[key]; ok {
+				*dst = v
+			}
+		}
+		for key, dst := range map[string]*int{"n": n, "horizon": stepsFlag} {
+			if v, err := strconv.Atoi(meta[key]); err == nil {
+				*dst = v
+			}
+		}
+		if v, err := strconv.ParseInt(meta["seed"], 10, 64); err == nil {
+			*seed = v
+		}
+		*modeFlag = "delta"
+		*incFlag = meta["incremental"] != "false"
+		*internFlag = meta["intern"] != "false"
+		*colFlag = meta["columnar"] != "false"
+		resumeData = data
+		fmt.Printf("resuming %s checkpoint %s (algebra %s, topo %s, n %d, seed %d)\n",
+			family, *resumeFile, *algebra, *topo, *n, *seed)
+	}
+
 	mode = *modeFlag
 	deltaSteps = *stepsFlag
 	incremental = *incFlag
@@ -121,6 +178,25 @@ func realMain() int {
 	if mode != "sim" && mode != "delta" {
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", mode)
 		return 2
+	}
+	if *ckptFile != "" {
+		if mode != "delta" {
+			fmt.Fprintln(os.Stderr, "-checkpoint applies to -mode delta only")
+			return 2
+		}
+		ckptPath, ckptAtStep = *ckptFile, *ckptAt
+		ckptMeta = map[string]string{
+			"algebra":     *algebra,
+			"topo":        *topo,
+			"n":           strconv.Itoa(*n),
+			"seed":        strconv.FormatInt(*seed, 10),
+			"incremental": strconv.FormatBool(incremental),
+			"intern":      strconv.FormatBool(interning),
+			"columnar":    strconv.FormatBool(columnar),
+		}
+		if *algebra == "policy" {
+			ckptMeta["policy"] = *polSrc
+		}
 	}
 	if mode == "delta" {
 		flag.Visit(func(f *flag.Flag) {
@@ -160,13 +236,15 @@ func realMain() int {
 			adj := pathalg.LiftAdjacencyInterned(alg, baseAdj)
 			type R = pathalg.IRoute[algebras.NatInf]
 			start := matrix.Identity[R](alg, g.N)
-			run[R](alg, adj, start, cfg, *seed)
+			run[R](alg, adj, start, cfg, *seed, "pv-interned",
+				wire.InternedPathCodec[algebras.NatInf]{Alg: alg, Base: wire.NatInfCodec{}})
 		} else {
 			alg := pathalg.New[algebras.NatInf](base)
 			adj := pathalg.LiftAdjacency(alg, baseAdj)
 			type R = pathalg.Route[algebras.NatInf]
 			start := matrix.Identity[R](alg, g.N)
-			run[R](alg, adj, start, cfg, *seed)
+			run[R](alg, adj, start, cfg, *seed, "pv",
+				wire.TrackedCodec[algebras.NatInf]{Base: wire.NatInfCodec{}})
 		}
 	case "gr":
 		alg := gaorexford.Algebra{MaxHops: 16}
@@ -186,7 +264,7 @@ func realMain() int {
 		})
 		_ = rng
 		start := matrix.Identity[gaorexford.Route](alg, g.N)
-		run[gaorexford.Route](alg, adj, start, cfg, *seed)
+		run[gaorexford.Route](alg, adj, start, cfg, *seed, "gaorexford", wire.GaoRexfordCodec{})
 	case "policy":
 		pol, err := policy.ParsePolicy(*polSrc)
 		if err != nil {
@@ -206,7 +284,7 @@ func realMain() int {
 					return alg.FromRoute(policy.RandomRoute(rng, g.N))
 				})
 			}
-			run[policy.IRoute](alg, adj, start, cfg, *seed)
+			run[policy.IRoute](alg, adj, start, cfg, *seed, "policy-interned", wire.InternedPolicyCodec{Alg: alg})
 		} else {
 			alg := policy.Algebra{}
 			adj := topology.Build[policy.Route](g, func(i, j int) core.Edge[policy.Route] {
@@ -219,7 +297,7 @@ func realMain() int {
 					return policy.RandomRoute(rng, g.N)
 				})
 			}
-			run[policy.Route](alg, adj, start, cfg, *seed)
+			run[policy.Route](alg, adj, start, cfg, *seed, "policy", wire.PolicyCodec{})
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown algebra %q\n", *algebra)
@@ -287,6 +365,16 @@ var (
 	exitCode    int
 )
 
+// ckptPath/ckptAtStep/ckptMeta configure a checkpoint-and-halt delta
+// run; resumeData, when non-nil, holds the checkpoint bytes a delta run
+// restores from instead of starting fresh.
+var (
+	ckptPath   string
+	ckptAtStep int
+	ckptMeta   map[string]string
+	resumeData []byte
+)
+
 func buildGraph(topo string, n int, seed int64) topology.Graph {
 	switch topo {
 	case "line":
@@ -321,15 +409,17 @@ func runNat[A core.Algebra[algebras.NatInf]](alg A, adj *matrix.Adjacency[algebr
 	if garbage {
 		start = matrix.RandomStateFrom(rand.New(rand.NewSource(seed)), adj.N, universe)
 	}
-	run[algebras.NatInf](alg, adj, start, cfg, seed)
+	run[algebras.NatInf](alg, adj, start, cfg, seed, "natinf", wire.NatInfCodec{})
 }
 
 // run dispatches one configured instance to the selected substrate.
+// family and codec name the carrier's checkpoint representation; the
+// simulator path never serialises and ignores them.
 func run[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], start *matrix.State[R],
-	cfg simulate.Config, seed int64) {
+	cfg simulate.Config, seed int64, family string, codec wire.Codec[R]) {
 	switch mode {
 	case "delta":
-		runDelta[R](alg, adj, start, seed)
+		runDelta[R](alg, adj, start, seed, family, codec)
 	default:
 		out := simulate.RunTraced[R](alg, adj, start, cfg, nil, nil, recorder)
 		fmt.Println(out.Describe())
@@ -342,8 +432,12 @@ func run[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], start *matrix.Sta
 
 // runDelta evaluates δ over a lazy pseudo-random bounded-staleness
 // schedule (O(1) schedule memory at any n and T) with the sharded engine
-// and reports whether the horizon reached the σ fixed point.
-func runDelta[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], start *matrix.State[R], seed int64) {
+// and reports whether the horizon reached the σ fixed point. The lazy
+// schedule is a pure function of (seed, t, i, k), which is what lets a
+// resumed run re-derive the exact activation sequence from the metadata
+// alone — the checkpoint carries no schedule state beyond the step index.
+func runDelta[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], start *matrix.State[R],
+	seed int64, family string, codec wire.Codec[R]) {
 	if recorder != nil {
 		fmt.Fprintln(os.Stderr, "(-trace records message events and applies to -mode sim only; ignoring)")
 		recorder = nil
@@ -366,7 +460,63 @@ func runDelta[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], start *matri
 	}
 	eng := engine.New[R](alg, adj, cfg)
 	defer eng.Close()
-	res := eng.Run(start, src)
+	var res *engine.Result[R]
+	switch {
+	case resumeData != nil:
+		f, err := checkpoint.Decode(codec, resumeData, family)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exitCode = 2
+			return
+		}
+		r, err := eng.Restore(f.Snap, src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exitCode = 2
+			return
+		}
+		fmt.Printf("restored at step %d, continuing to T=%d\n", f.Snap.Step, T)
+		res = r
+	case ckptPath != "":
+		at := ckptAtStep
+		if at <= 0 {
+			at = T / 2
+		}
+		if at < 1 {
+			at = 1
+		}
+		if at > T {
+			fmt.Fprintf(os.Stderr, "checkpoint step %d beyond horizon %d\n", at, T)
+			exitCode = 2
+			return
+		}
+		r, snap := eng.RunSnapshot(start, src, at, true)
+		if snap == nil {
+			fmt.Printf("run certified convergence at t=%d, before checkpoint step %d; nothing to resume, no checkpoint written\n",
+				mustConvergedAt(r), at)
+			res = r
+			break
+		}
+		ckptMeta["horizon"] = strconv.Itoa(T)
+		data, err := checkpoint.Encode(codec, &checkpoint.File[R]{Family: family, Meta: ckptMeta, Snap: snap})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exitCode = 2
+			return
+		}
+		if err := os.WriteFile(ckptPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exitCode = 2
+			return
+		}
+		fmt.Printf("checkpoint written to %s at step %d of %d (%d bytes); resume with -resume %s\n",
+			ckptPath, at, T, len(data), ckptPath)
+		// The halted prefix is not a finished run: skip the stability
+		// report (and its exit-code gate) — the resuming process owns it.
+		return
+	default:
+		res = eng.Run(start, src)
+	}
 	st := res.Stats()
 	fmt.Printf("δ engine: T=%d of %d, rows computed=%d, rows skipped=%d, cells computed=%d\n",
 		st.Steps, T, st.RowsComputed, st.RowsSkipped, st.CellsComputed)
@@ -379,6 +529,13 @@ func runDelta[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], start *matri
 	if stable := report[R](alg, adj, res.Final()); !stable {
 		exitCode = 1
 	}
+}
+
+// mustConvergedAt reports where a run certified convergence; it is only
+// called on runs RunSnapshot ended early, which implies certification.
+func mustConvergedAt[R any](r *engine.Result[R]) int {
+	at, _ := r.Converged()
+	return at
 }
 
 // report prints the outcome and returns whether the final state is a

@@ -1,0 +1,375 @@
+// Package checkpoint persists engine snapshots as versioned,
+// CRC-checksummed files, so a long δ run can be preempted, survive a
+// crash, or move between processes and resume bit-identically
+// (engine.Snapshot / engine.Restore carry the equivalence proof; this
+// package only has to round-trip the state faithfully).
+//
+// Routes cross the boundary through the same internal/wire codecs the
+// live protocol uses. For interned carriers the codec pair
+// (wire.InternedPolicyCodec, wire.InternedPathCodec) encodes through the
+// reference representation and re-interns on decode, so a snapshot never
+// leaks table-relative path ids: the restoring process's paths.Table
+// assigns its own, and every algebra operation is indifferent to the
+// renaming.
+//
+// Layout (all integers big-endian):
+//
+//	"DBFC" | u16 version | family (u16 len + bytes)
+//	meta: u16 count, count × (u16 klen + key + u16 vlen + value), keys sorted
+//	payload: flags u8 | u32 step | u32 n | u32 window | u32 lastChange
+//	         stats (8 × i64) | u32 nstates | states (n·n cells of u32 len + bytes, row-major)
+//	         [incremental: ver n·n × i32 | lastComp n × i32 | lastRead n·n × i32]
+//	         [certified: n × u8]
+//	u32 CRC-32 (IEEE) of everything above
+//
+// Every decode path is bounds-checked against the actual data and hard
+// caps; corrupt or hostile input yields a clean error, never a panic or
+// an unbounded allocation.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/matrix"
+	"repro/internal/wire"
+)
+
+// Version is the current format version; Decode rejects anything newer.
+const Version = 1
+
+var magic = []byte("DBFC")
+
+// Hard caps against corrupt length fields; all far above anything the
+// repository produces but small enough that a hostile header cannot
+// drive allocation.
+const (
+	maxNodes  = 1 << 14
+	maxString = 1 << 12
+	maxMeta   = 256
+	maxCell   = 1 << 20
+)
+
+// ErrChecksum reports a CRC mismatch: the file was truncated or a byte
+// was flipped between Encode and Decode.
+var ErrChecksum = errors.New("checkpoint: checksum mismatch")
+
+// File is one checkpoint: a tagged, annotated engine snapshot. Family
+// names the carrier's codec family (e.g. "natinf", "policy-interned") —
+// Decode refuses to hand route bytes to the wrong codec. Meta is free
+// annotation: dbfsim records the instance parameters there so -resume
+// can rebuild the run without re-specifying flags.
+type File[R any] struct {
+	Family string
+	Meta   map[string]string
+	Snap   *engine.Snapshot[R]
+}
+
+// Encode renders the checkpoint, routes serialised with c.
+func Encode[R any](c wire.Codec[R], f *File[R]) ([]byte, error) {
+	s := f.Snap
+	if s == nil {
+		return nil, errors.New("checkpoint: nil snapshot")
+	}
+	if len(f.Family) > maxString || len(f.Meta) > maxMeta {
+		return nil, errors.New("checkpoint: family or meta too large")
+	}
+	out := append([]byte(nil), magic...)
+	out = binary.BigEndian.AppendUint16(out, Version)
+	out = appendString(out, f.Family)
+	keys := make([]string, 0, len(f.Meta))
+	for k := range f.Meta {
+		if len(k) > maxString || len(f.Meta[k]) > maxString {
+			return nil, fmt.Errorf("checkpoint: meta entry %q too large", k)
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(keys)))
+	for _, k := range keys {
+		out = appendString(out, k)
+		out = appendString(out, f.Meta[k])
+	}
+
+	var flags byte
+	if s.Incremental {
+		flags |= 1
+	}
+	if s.Certified != nil {
+		flags |= 2
+	}
+	out = append(out, flags)
+	out = binary.BigEndian.AppendUint32(out, uint32(s.Step))
+	out = binary.BigEndian.AppendUint32(out, uint32(s.N))
+	out = binary.BigEndian.AppendUint32(out, uint32(s.Window))
+	out = binary.BigEndian.AppendUint32(out, uint32(s.LastChange))
+	for _, v := range []int{
+		s.Stats.Steps, s.Stats.RowsComputed, s.Stats.RowsSkipped, s.Stats.CellsComputed,
+		s.Stats.ConvergedAt, s.Stats.RowsRecycled, s.Stats.Retained, s.Stats.Events,
+	} {
+		out = binary.BigEndian.AppendUint64(out, uint64(int64(v)))
+	}
+	out = binary.BigEndian.AppendUint32(out, uint32(len(s.States)))
+	for _, st := range s.States {
+		for i := 0; i < s.N; i++ {
+			for j := 0; j < s.N; j++ {
+				b, err := c.Encode(st.Get(i, j))
+				if err != nil {
+					return nil, fmt.Errorf("checkpoint: encoding cell (%d,%d): %w", i, j, err)
+				}
+				out = binary.BigEndian.AppendUint32(out, uint32(len(b)))
+				out = append(out, b...)
+			}
+		}
+	}
+	if s.Incremental {
+		out = appendInt32s(out, s.Ver)
+		out = appendInt32s(out, s.LastComp)
+		out = appendInt32s(out, s.LastRead)
+	}
+	for _, cert := range s.Certified {
+		if cert {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(out)), nil
+}
+
+// Header parses just the family tag and metadata — enough for a caller
+// to decide which codec to decode with — after verifying the checksum,
+// so a corrupt file is rejected before any of it is believed.
+func Header(data []byte) (family string, meta map[string]string, err error) {
+	cur, err := verified(data)
+	if err != nil {
+		return "", nil, err
+	}
+	return cur.header()
+}
+
+// Decode parses a checkpoint encoded with Encode, verifying the checksum
+// and the family tag before decoding a single route.
+func Decode[R any](c wire.Codec[R], data []byte, wantFamily string) (*File[R], error) {
+	cur, err := verified(data)
+	if err != nil {
+		return nil, err
+	}
+	family, meta, err := cur.header()
+	if err != nil {
+		return nil, err
+	}
+	if family != wantFamily {
+		return nil, fmt.Errorf("checkpoint: family %q, want %q", family, wantFamily)
+	}
+	f := &File[R]{Family: family, Meta: meta, Snap: &engine.Snapshot[R]{}}
+	s := f.Snap
+	flags := cur.u8()
+	s.Incremental = flags&1 != 0
+	certified := flags&2 != 0
+	s.Step = int(cur.u32())
+	s.N = int(cur.u32())
+	s.Window = int(cur.u32())
+	s.LastChange = int(cur.u32())
+	for _, p := range []*int{
+		&s.Stats.Steps, &s.Stats.RowsComputed, &s.Stats.RowsSkipped, &s.Stats.CellsComputed,
+		&s.Stats.ConvergedAt, &s.Stats.RowsRecycled, &s.Stats.Retained, &s.Stats.Events,
+	} {
+		*p = int(int64(cur.u64()))
+	}
+	if cur.err == nil && (s.N < 1 || s.N > maxNodes) {
+		return nil, fmt.Errorf("checkpoint: implausible node count %d", s.N)
+	}
+	nstates := int(cur.u32())
+	if cur.err == nil && (nstates < 1 || nstates > s.Step+1) {
+		return nil, fmt.Errorf("checkpoint: implausible state count %d for step %d", nstates, s.Step)
+	}
+	if cur.err != nil {
+		return nil, cur.err
+	}
+	var zero R
+	for b := 0; b < nstates; b++ {
+		st := matrix.NewState(s.N, zero)
+		for i := 0; i < s.N; i++ {
+			for j := 0; j < s.N; j++ {
+				cell := cur.bytes(maxCell)
+				if cur.err != nil {
+					return nil, cur.err
+				}
+				r, err := c.Decode(cell)
+				if err != nil {
+					return nil, fmt.Errorf("checkpoint: decoding cell (%d,%d) of state %d: %w", i, j, b, err)
+				}
+				st.Set(i, j, r)
+			}
+		}
+		s.States = append(s.States, st)
+	}
+	if s.Incremental {
+		s.Ver = cur.int32s(s.N * s.N)
+		s.LastComp = cur.int32s(s.N)
+		s.LastRead = cur.int32s(s.N * s.N)
+	}
+	if certified {
+		s.Certified = make([]bool, s.N)
+		for i := range s.Certified {
+			s.Certified[i] = cur.u8() != 0
+		}
+	}
+	if cur.err != nil {
+		return nil, cur.err
+	}
+	if len(cur.b) != 0 {
+		return nil, fmt.Errorf("checkpoint: %d trailing bytes", len(cur.b))
+	}
+	return f, nil
+}
+
+// verified checks magic, version and CRC, returning a cursor over the
+// bytes between the header and the checksum trailer.
+func verified(data []byte) (*cursor, error) {
+	if len(data) < len(magic)+2+4 {
+		return nil, errors.New("checkpoint: file too short")
+	}
+	if string(data[:4]) != string(magic) {
+		return nil, errors.New("checkpoint: bad magic (not a checkpoint file)")
+	}
+	body, sum := data[:len(data)-4], binary.BigEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, ErrChecksum
+	}
+	cur := &cursor{b: body[4:]}
+	if v := cur.u16(); cur.err == nil && v > Version {
+		return nil, fmt.Errorf("checkpoint: format version %d, this build reads ≤ %d", v, Version)
+	}
+	return cur, cur.err
+}
+
+// cursor is a bounds-checked reader over the verified body; the first
+// failed read sticks in err and every later read is a no-op.
+type cursor struct {
+	b   []byte
+	err error
+}
+
+func (c *cursor) fail() {
+	if c.err == nil {
+		c.err = errors.New("checkpoint: truncated payload")
+	}
+}
+
+func (c *cursor) u8() byte {
+	if c.err != nil || len(c.b) < 1 {
+		c.fail()
+		return 0
+	}
+	v := c.b[0]
+	c.b = c.b[1:]
+	return v
+}
+
+func (c *cursor) u16() uint16 {
+	if c.err != nil || len(c.b) < 2 {
+		c.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(c.b)
+	c.b = c.b[2:]
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if c.err != nil || len(c.b) < 4 {
+		c.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(c.b)
+	c.b = c.b[4:]
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if c.err != nil || len(c.b) < 8 {
+		c.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(c.b)
+	c.b = c.b[8:]
+	return v
+}
+
+// bytes reads a u32-length-prefixed blob, rejecting lengths over max
+// before looking at the data.
+func (c *cursor) bytes(max int) []byte {
+	l := int(c.u32())
+	if c.err != nil {
+		return nil
+	}
+	if l > max || l > len(c.b) {
+		c.fail()
+		return nil
+	}
+	v := c.b[:l]
+	c.b = c.b[l:]
+	return v
+}
+
+func (c *cursor) str(max int) string {
+	l := int(c.u16())
+	if c.err != nil {
+		return ""
+	}
+	if l > max || l > len(c.b) {
+		c.fail()
+		return ""
+	}
+	v := string(c.b[:l])
+	c.b = c.b[l:]
+	return v
+}
+
+func (c *cursor) int32s(n int) []int32 {
+	if c.err != nil || len(c.b) < 4*n {
+		c.fail()
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.BigEndian.Uint32(c.b[4*i:]))
+	}
+	c.b = c.b[4*n:]
+	return out
+}
+
+func (c *cursor) header() (string, map[string]string, error) {
+	family := c.str(maxString)
+	count := int(c.u16())
+	if c.err == nil && count > maxMeta {
+		return "", nil, fmt.Errorf("checkpoint: implausible meta count %d", count)
+	}
+	var meta map[string]string
+	if c.err == nil && count > 0 {
+		meta = make(map[string]string, count)
+		for i := 0; i < count; i++ {
+			k := c.str(maxString)
+			meta[k] = c.str(maxString)
+		}
+	}
+	return family, meta, c.err
+}
+
+func appendString(out []byte, s string) []byte {
+	out = binary.BigEndian.AppendUint16(out, uint16(len(s)))
+	return append(out, s...)
+}
+
+func appendInt32s(out []byte, v []int32) []byte {
+	for _, x := range v {
+		out = binary.BigEndian.AppendUint32(out, uint32(x))
+	}
+	return out
+}

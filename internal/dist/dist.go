@@ -46,11 +46,30 @@ type Config struct {
 	LossProb           float64
 	DupProb            float64
 	MinDelay, MaxDelay time.Duration
+	// QueueLen bounds each node's transport receive buffer (see
+	// transport.Faults.QueueLen); 0 means the transport default.
+	QueueLen int
 	// Restarts schedules mid-run node restarts (the live form of
 	// simulate.Restart): each wipes the node's table and receive caches a
 	// fixed interval into the run. The run cannot settle while restarts
 	// are pending.
 	Restarts []Restart
+	// HeartbeatTimeout is the supervisor's failure-detector deadline: a
+	// router that has not beaten for this long is declared crashed.
+	// Default: max(10 × ActivateEvery, 2 × ReadvertiseEvery).
+	HeartbeatTimeout time.Duration
+	// SnapshotEvery is how often the supervisor snapshots each live
+	// node's table for crash recovery. Default: ReadvertiseEvery.
+	SnapshotEvery time.Duration
+	// AutoHeal restarts heartbeat-detected failures from their last
+	// snapshot instead of leaving them down. Intentional crashes
+	// (CrashNode, scenario `crash` events) are never auto-healed — their
+	// recovery timing belongs to whoever crashed them.
+	AutoHeal bool
+	// SendRetries bounds per-message transport send retries under capped
+	// exponential backoff with jitter. Default: 2; negative disables
+	// retries. ErrClosed is never retried.
+	SendRetries int
 }
 
 // Restart wipes one node a fixed interval into a live run.
@@ -61,7 +80,7 @@ type Restart struct {
 
 // Faults returns the transport fault profile the Config describes.
 func (c Config) Faults() transport.Faults {
-	return transport.Faults{LossProb: c.LossProb, DupProb: c.DupProb, MinDelay: c.MinDelay, MaxDelay: c.MaxDelay}
+	return transport.Faults{LossProb: c.LossProb, DupProb: c.DupProb, MinDelay: c.MinDelay, MaxDelay: c.MaxDelay, QueueLen: c.QueueLen}
 }
 
 func (c Config) withDefaults() Config {
@@ -77,7 +96,61 @@ func (c Config) withDefaults() Config {
 	if c.SettleWindow == 0 {
 		c.SettleWindow = 8 * c.ReadvertiseEvery
 	}
+	if c.HeartbeatTimeout == 0 {
+		c.HeartbeatTimeout = 10 * c.ActivateEvery
+		if hb := 2 * c.ReadvertiseEvery; hb > c.HeartbeatTimeout {
+			c.HeartbeatTimeout = hb
+		}
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = c.ReadvertiseEvery
+	}
+	if c.SendRetries == 0 {
+		c.SendRetries = 2
+	}
 	return c
+}
+
+// Class grades how a live run ended: converged cleanly, timed out with
+// every router up (degraded — overload, loss, or a genuinely divergent
+// policy), or timed out with nodes still down (partitioned). The run
+// always terminates with one of these — it never hangs.
+type Class int
+
+const (
+	ClassConverged Class = iota
+	ClassDegraded
+	ClassPartitioned
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassConverged:
+		return "converged"
+	case ClassDegraded:
+		return "degraded"
+	case ClassPartitioned:
+		return "partitioned"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// RunStats counts the supervisor's and transport's interventions over a
+// live run.
+type RunStats struct {
+	// CrashesDetected counts heartbeat-deadline failures the supervisor
+	// declared (silent deaths and wedged routers — not intentional
+	// CrashNode calls, which announce themselves).
+	CrashesDetected int64
+	// Restarts counts routers respawned from a snapshot, whether by
+	// AutoHeal or an explicit RecoverNode.
+	Restarts int64
+	// SendRetries counts transport sends that were retried after a
+	// transient failure.
+	SendRetries int64
+	// QueueDrops counts messages the transport dropped on full receive
+	// buffers, when the transport accounts them (transport.StatsReporter).
+	QueueDrops int64
 }
 
 // Outcome is the result of a live run.
@@ -87,6 +160,12 @@ type Outcome[R any] struct {
 	// Converged reports whether the run settled on a σ-stable state with
 	// consistent receive caches for a full settle window before Timeout.
 	Converged bool
+	// Class grades the ending; Converged implies ClassConverged.
+	Class Class
+	// DownNodes lists routers still down when the run ended.
+	DownNodes []int
+	// Stats counts supervisor and transport interventions.
+	Stats RunStats
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
 }
@@ -94,9 +173,17 @@ type Outcome[R any] struct {
 // Describe renders a one-line summary of an outcome.
 func (o Outcome[R]) Describe() string {
 	if o.Converged {
-		return fmt.Sprintf("converged in %v", o.Elapsed.Round(time.Millisecond))
+		s := fmt.Sprintf("converged in %v", o.Elapsed.Round(time.Millisecond))
+		if o.Stats.Restarts > 0 {
+			s += fmt.Sprintf(" (%d restart(s), %d failure(s) detected)", o.Stats.Restarts, o.Stats.CrashesDetected)
+		}
+		return s
 	}
-	return fmt.Sprintf("DID NOT CONVERGE within %v", o.Elapsed.Round(time.Millisecond))
+	s := fmt.Sprintf("DID NOT CONVERGE within %v: %s", o.Elapsed.Round(time.Millisecond), o.Class)
+	if len(o.DownNodes) > 0 {
+		s += fmt.Sprintf(", nodes %v down", o.DownNodes)
+	}
+	return s
 }
 
 // Network is a set of live routers wired to a transport.
@@ -123,6 +210,29 @@ type Network[R any] struct {
 	pendingOps atomic.Int32
 	// muts are the ApplyAfter hooks, armed when Run starts.
 	muts []scheduledMut[R]
+
+	// Supervisor state (see supervisor.go). ctl holds each node's current
+	// router handle; allCtls is the append-only join list Run drains at
+	// shutdown; down marks nodes crashed and not yet recovered; snaps is
+	// the per-node snapshot store (codec-encoded rows); runCtx is the run
+	// context recovery spawns under, and stopped blocks spawns once
+	// shutdown has begun. All mu-guarded except the atomics.
+	ctl     []*routerCtl
+	allCtls []*routerCtl
+	down    []bool
+	snaps   [][][]byte
+	runCtx  context.Context
+	stopped bool
+	beats   []atomic.Int64
+	// seqs are the per-node advertisement sequence counters. They live on
+	// the network, not the router goroutine, so a restarted router
+	// continues its predecessor's sequence — otherwise peers' freshness
+	// guards would discard everything it says as stale.
+	seqs     []atomic.Uint64
+	runStats struct {
+		crashes, restarts, sendRetries atomic.Int64
+	}
+	retryState
 }
 
 // scheduledMut is one ApplyAfter registration.
@@ -230,6 +340,12 @@ func NewNetwork[R any](
 			nw.recv[i][k] = start.Row(k)
 		}
 	}
+	nw.ctl = make([]*routerCtl, n)
+	nw.down = make([]bool, n)
+	nw.snaps = make([][][]byte, n)
+	nw.beats = make([]atomic.Int64, n)
+	nw.seqs = make([]atomic.Uint64, n)
+	nw.retryRng = rand.New(rand.NewSource(cfg.Seed*7919 + 17))
 	return nw
 }
 
@@ -251,14 +367,17 @@ func RunLocal[R any](
 	return out
 }
 
-// Run starts one goroutine per router plus a convergence monitor and
-// blocks until the network settles, the context is cancelled, or the
-// timeout fires.
+// Run starts one goroutine per router, the supervisor, and a convergence
+// monitor, and blocks until the network settles, the context is
+// cancelled, or the timeout fires. On the way out it cancels and joins
+// every router it ever spawned and closes the transport, so a finished
+// run leaves no goroutine behind whatever crashed or recovered mid-way.
 func (nw *Network[R]) Run(ctx context.Context) Outcome[R] {
 	ctx, cancel := context.WithTimeout(ctx, nw.cfg.Timeout)
 	defer cancel()
 	begin := time.Now()
 	nw.changed = begin
+	nw.runCtx = ctx
 
 	muts := nw.muts
 	for _, rs := range nw.cfg.Restarts {
@@ -283,23 +402,67 @@ func (nw *Network[R]) Run(ctx context.Context) Outcome[R] {
 	}()
 
 	n := nw.adj.N
-	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			nw.router(ctx, i)
-		}(i)
+		nw.spawn(ctx, i)
 	}
+	supDone := make(chan struct{})
+	go func() {
+		defer close(supDone)
+		nw.supervise(ctx)
+	}()
 
 	converged := nw.monitor(ctx)
 	cancel()
-	wg.Wait()
+	// Shutdown order matters: join the supervisor first (it is the only
+	// thing that spawns routers mid-run besides recovery timers, which
+	// `stopped` fences off), then join every router ever spawned, then
+	// close the transport under no remaining senders.
+	<-supDone
+	nw.mu.Lock()
+	nw.stopped = true
+	ctls := append([]*routerCtl(nil), nw.allCtls...)
+	nw.mu.Unlock()
+	for _, c := range ctls {
+		<-c.done
+	}
+	_ = nw.tr.Close()
 
 	nw.mu.Lock()
 	final := nw.state.Clone()
+	var downNodes []int
+	for i, d := range nw.down {
+		if d {
+			downNodes = append(downNodes, i)
+		}
+	}
 	nw.mu.Unlock()
-	return Outcome[R]{Final: final, Converged: converged, Elapsed: time.Since(begin)}
+
+	stats := RunStats{
+		CrashesDetected: nw.runStats.crashes.Load(),
+		Restarts:        nw.runStats.restarts.Load(),
+		SendRetries:     nw.runStats.sendRetries.Load(),
+	}
+	if sr, ok := nw.tr.(transport.StatsReporter); ok {
+		for _, st := range sr.Stats() {
+			stats.QueueDrops += st.Dropped
+		}
+	}
+	class := ClassConverged
+	switch {
+	case converged:
+	case len(downNodes) > 0:
+		class = ClassPartitioned
+	default:
+		class = ClassDegraded
+	}
+	return Outcome[R]{
+		Final:     final,
+		Converged: converged,
+		Class:     class,
+		DownNodes: downNodes,
+		Stats:     stats,
+		Elapsed:   time.Since(begin),
+	}
 }
 
 // router is the per-node event loop: receive adverts into the cache,
@@ -314,11 +477,14 @@ func (nw *Network[R]) router(ctx context.Context, i int) {
 	readvertise := time.NewTicker(jitter(nw.cfg.ReadvertiseEvery))
 	defer readvertise.Stop()
 
-	var seq uint64
 	n := nw.adj.N
 	scratch := make([]R, n)
 
 	for {
+		// The heartbeat the supervisor's failure detector watches: a live
+		// router beats at least every activation period (plus jitter),
+		// far inside the deadline.
+		nw.beats[i].Store(time.Now().UnixNano())
 		select {
 		case <-ctx.Done():
 			return
@@ -329,13 +495,11 @@ func (nw *Network[R]) router(ctx context.Context, i int) {
 			nw.deliver(i, msg)
 		case <-activate.C:
 			if nw.recompute(i, scratch) {
-				seq++
-				nw.advertise(i, seq)
+				nw.advertise(i, nw.seqs[i].Add(1))
 			}
 			activate.Reset(jitter(nw.cfg.ActivateEvery))
 		case <-readvertise.C:
-			seq++
-			nw.advertise(i, seq)
+			nw.advertise(i, nw.seqs[i].Add(1))
 		}
 	}
 }
@@ -411,7 +575,7 @@ func (nw *Network[R]) advertise(i int, seq uint64) {
 	}
 	payload := wire.EncodeAdvert(wire.Advert{From: i, Seq: seq, Rows: rows})
 	for _, j := range listeners {
-		_ = nw.tr.Send(transport.Message{From: i, To: j, Payload: payload})
+		nw.send(transport.Message{From: i, To: j, Payload: payload})
 	}
 }
 
@@ -440,6 +604,23 @@ func (nw *Network[R]) quiescent() bool {
 	}
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
+	for _, d := range nw.down {
+		if d {
+			// A down node can neither verify nor repair anything; the run
+			// is not settled, it is partitioned until someone recovers it.
+			return false
+		}
+	}
+	// Convergence also attests liveness: every router must have beaten
+	// within the failure-detector deadline. A silently dead router may
+	// hold a fixed-point table right now, but it can never repair a
+	// future loss — declaring quiescence over it would race the detector.
+	now := time.Now().UnixNano()
+	for i := range nw.beats {
+		if now-nw.beats[i].Load() > int64(nw.cfg.HeartbeatTimeout) {
+			return false
+		}
+	}
 	if time.Since(nw.changed) < nw.cfg.SettleWindow {
 		return false
 	}

@@ -1,0 +1,233 @@
+package dist_test
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/algebras"
+	"repro/internal/dist"
+	"repro/internal/matrix"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// TestCrashRecoverExplicit crashes a node mid-run (the scenario `crash`
+// event path), holds it down long enough that the network would
+// otherwise have settled, recovers it from its supervisor snapshot, and
+// checks the run still ends on the σ fixed point with the crash
+// accounted in the outcome.
+func TestCrashRecoverExplicit(t *testing.T) {
+	alg := algebras.HopCount{Limit: 15}
+	n := 6
+	adj := ringAdj(n, alg)
+	start := matrix.Identity(alg, n)
+
+	cfg := dist.Config{Seed: 19, Timeout: 20 * time.Second}
+	tr := transport.NewMemory(n, cfg.Seed, cfg.Faults())
+	nw := dist.NewNetwork(alg, adj, start, wire.NatInfCodec{}, tr, cfg)
+	// Pending ops hold off quiescence until both halves have fired, so
+	// the run cannot be declared converged while node 2 is down.
+	nw.ApplyAfter(120*time.Millisecond, func(nw *dist.Network[algebras.NatInf]) {
+		nw.CrashNode(2)
+	})
+	nw.ApplyAfter(400*time.Millisecond, func(nw *dist.Network[algebras.NatInf]) {
+		nw.RecoverNode(2)
+	})
+
+	out := nw.Run(context.Background())
+	if !out.Converged {
+		t.Fatalf("crash/recover run did not converge: %s", out.Describe())
+	}
+	if out.Class != dist.ClassConverged {
+		t.Fatalf("class %s, want converged", out.Class)
+	}
+	if out.Elapsed < 400*time.Millisecond {
+		t.Fatalf("run settled in %v, before the scheduled recovery", out.Elapsed)
+	}
+	if out.Stats.Restarts < 1 {
+		t.Fatalf("outcome stats count no restart: %+v", out.Stats)
+	}
+	if len(out.DownNodes) != 0 {
+		t.Fatalf("nodes %v still down after recovery", out.DownNodes)
+	}
+	want, _, ok := matrix.FixedPoint(alg, adj, start, 4*n)
+	if !ok {
+		t.Fatal("σ fixed point not reached in reference")
+	}
+	if !out.Final.Equal(alg, want) {
+		t.Fatalf("post-recovery state is off the fixed point\ngot:\n%s\nwant:\n%s",
+			out.Final.Format(alg), want.Format(alg))
+	}
+}
+
+// TestCrashWithoutRecoverPartitions pins the graceful-degradation
+// contract: a node crashed and never recovered must end the run as a
+// classified Partitioned outcome when the timeout fires — terminating,
+// never hanging, with the dead node listed.
+func TestCrashWithoutRecoverPartitions(t *testing.T) {
+	alg := algebras.HopCount{Limit: 15}
+	n := 4
+	adj := ringAdj(n, alg)
+	start := matrix.Identity(alg, n)
+
+	cfg := dist.Config{Seed: 23, Timeout: 1500 * time.Millisecond}
+	tr := transport.NewMemory(n, cfg.Seed, cfg.Faults())
+	nw := dist.NewNetwork(alg, adj, start, wire.NatInfCodec{}, tr, cfg)
+	nw.ApplyAfter(100*time.Millisecond, func(nw *dist.Network[algebras.NatInf]) {
+		nw.CrashNode(1)
+	})
+
+	out := nw.Run(context.Background())
+	if out.Converged {
+		t.Fatal("run with a permanently dead node declared convergence")
+	}
+	if out.Class != dist.ClassPartitioned {
+		t.Fatalf("class %s, want partitioned", out.Class)
+	}
+	if len(out.DownNodes) != 1 || out.DownNodes[0] != 1 {
+		t.Fatalf("down nodes %v, want [1]", out.DownNodes)
+	}
+}
+
+// TestFailureDetectorAutoHeal kills a router silently — no announcement,
+// exactly as a wedged or dead process looks from outside — and checks
+// the heartbeat deadline detector notices, the supervisor restarts it
+// from its snapshot, and the run converges with the detection counted.
+func TestFailureDetectorAutoHeal(t *testing.T) {
+	alg := algebras.HopCount{Limit: 15}
+	n := 6
+	adj := ringAdj(n, alg)
+	start := matrix.Identity(alg, n)
+
+	cfg := dist.Config{Seed: 31, Timeout: 20 * time.Second, AutoHeal: true}
+	tr := transport.NewMemory(n, cfg.Seed, cfg.Faults())
+	nw := dist.NewNetwork(alg, adj, start, wire.NatInfCodec{}, tr, cfg)
+	// Kill well inside the settle window, so the heartbeat goes stale
+	// before convergence could possibly be declared. (A death in the
+	// final deadline-width instants before declaration is inherently
+	// undetectable — no failure detector beats its own deadline.)
+	nw.ApplyAfter(50*time.Millisecond, func(nw *dist.Network[algebras.NatInf]) {
+		nw.KillNode(3)
+	})
+
+	out := nw.Run(context.Background())
+	if !out.Converged {
+		t.Fatalf("auto-healed run did not converge: %s", out.Describe())
+	}
+	if out.Stats.CrashesDetected < 1 {
+		t.Fatalf("failure detector saw nothing: %+v", out.Stats)
+	}
+	if out.Stats.Restarts < 1 {
+		t.Fatalf("auto-heal performed no restart: %+v", out.Stats)
+	}
+	want, _, _ := matrix.FixedPoint(alg, adj, start, 4*n)
+	if !out.Final.Equal(alg, want) {
+		t.Fatalf("healed run settled off the fixed point\ngot:\n%s", out.Final.Format(alg))
+	}
+}
+
+// TestKillTorture is the self-stabilization torture test: routers are
+// killed silently at random times over a lossy, duplicating, reordering
+// transport with tiny receive queues, the supervisor auto-heals from
+// snapshots, and every trial must either converge to the reference σ
+// fixed point or terminate classified — never hang, never leak a
+// goroutine, never land converged off the fixed point. Theorem 7 says
+// the post-heal continuation reconverges; this is that claim under a
+// live adversary.
+func TestKillTorture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture test skipped in -short mode")
+	}
+	alg := algebras.HopCount{Limit: 15}
+	n := 6
+	adj := ringAdj(n, alg)
+	start := matrix.Identity(alg, n)
+	want, _, ok := matrix.FixedPoint(alg, adj, start, 4*n)
+	if !ok {
+		t.Fatal("σ fixed point not reached in reference")
+	}
+
+	baseline := runtime.NumGoroutine()
+	rng := rand.New(rand.NewSource(777))
+	const trials = 5
+	for trial := 0; trial < trials; trial++ {
+		cfg := dist.Config{
+			Seed:     int64(1000 + trial),
+			Timeout:  15 * time.Second,
+			AutoHeal: true,
+			LossProb: 0.1,
+			DupProb:  0.1,
+			MaxDelay: time.Millisecond,
+			QueueLen: 16,
+		}
+		tr := transport.NewMemory(n, cfg.Seed, cfg.Faults())
+		nw := dist.NewNetwork(alg, adj, start, wire.NatInfCodec{}, tr, cfg)
+		kills := 1 + rng.Intn(3)
+		for k := 0; k < kills; k++ {
+			node := rng.Intn(n)
+			after := time.Duration(50+rng.Intn(400)) * time.Millisecond
+			nw.ApplyAfter(after, func(nw *dist.Network[algebras.NatInf]) {
+				nw.KillNode(node)
+			})
+		}
+
+		out := nw.Run(context.Background())
+		switch {
+		case out.Converged:
+			if !out.Final.Equal(alg, want) {
+				t.Fatalf("trial %d converged off the fixed point\ngot:\n%s\nwant:\n%s",
+					trial, out.Final.Format(alg), want.Format(alg))
+			}
+		case out.Class == dist.ClassDegraded || out.Class == dist.ClassPartitioned:
+			// Graceful degradation is an acceptable ending; hanging is not,
+			// and Run returning at all proves it terminated.
+			t.Logf("trial %d ended %s after %d kills: %s", trial, out.Class, kills, out.Describe())
+		default:
+			t.Fatalf("trial %d ended unclassified: %+v", trial, out)
+		}
+	}
+
+	// Every Run must have joined all its goroutines and closed its
+	// transport: give stragglers a beat, then compare against baseline.
+	deadline := time.After(2 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		select {
+		case <-deadline:
+			t.Fatalf("goroutine leak: %d now vs %d before the torture trials",
+				runtime.NumGoroutine(), baseline)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// TestRunClosesTransport pins the shutdown fix: Run must drain its
+// routers and close the transport before returning, even when the run
+// ends by context cancellation rather than convergence.
+func TestRunClosesTransport(t *testing.T) {
+	alg := algebras.HopCount{Limit: 15}
+	n := 4
+	adj := ringAdj(n, alg)
+	start := matrix.Identity(alg, n)
+
+	cfg := dist.Config{Seed: 5, Timeout: 20 * time.Second}
+	tr := transport.NewMemory(n, cfg.Seed, cfg.Faults())
+	nw := dist.NewNetwork(alg, adj, start, wire.NatInfCodec{}, tr, cfg)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan dist.Outcome[algebras.NatInf], 1)
+	go func() { done <- nw.Run(ctx) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after context cancellation")
+	}
+	if err := tr.Send(transport.Message{From: 0, To: 1}); err != transport.ErrClosed {
+		t.Fatalf("transport still open after Run returned: Send gave %v, want ErrClosed", err)
+	}
+}

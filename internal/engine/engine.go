@@ -745,10 +745,10 @@ func (e *Engine[R]) Run(start *matrix.State[R], src Source) *Result[R] {
 		// Keep-everything runs stay on the interface path: their
 		// snapshots escape into the Result, which hands out []R rows.
 		if cs := e.columnarFor(); cs != nil {
-			return runLoop(e, &colOps[R]{e: e, cs: cs}, start, src, n, window, T, doTerm, fairP, nil)
+			return runLoop(e, &colOps[R]{e: e, cs: cs}, start, src, n, window, T, doTerm, fairP, nil, nil, nil)
 		}
 	}
-	return runLoop(e, genOps[R]{e: e}, start, src, n, window, T, doTerm, fairP, nil)
+	return runLoop(e, genOps[R]{e: e}, start, src, n, window, T, doTerm, fairP, nil, nil, nil)
 }
 
 // planRun resolves the history window and the early-termination plan for
@@ -808,24 +808,55 @@ func (r *run[R, Row]) foldRowChanges(i, t int) bool {
 }
 
 // runLoop is the evaluation loop shared by every row representation. tl,
-// when non-nil, is the mid-run event timeline of a RunTimeline call.
-func runLoop[R, Row any](e *Engine[R], ops rowOps[R, Row], start *matrix.State[R], src Source, n, window, T int, doTerm bool, fairP int, tl *timeline[R]) *Result[R] {
+// when non-nil, is the mid-run event timeline of a RunTimeline call. sp,
+// when non-nil, asks for a Snapshot capture (RunSnapshot); rs, when
+// non-nil, is a snapshot to resume from instead of a start state
+// (Restore) — exactly one of start and rs is non-nil.
+func runLoop[R, Row any](e *Engine[R], ops rowOps[R, Row], start *matrix.State[R], src Source, n, window, T int, doTerm bool, fairP int, tl *timeline[R], sp *snapPlan[R], rs *Snapshot[R]) *Result[R] {
 	r := acquireRun(e, ops, n, window, T)
 	nbr, nbrOff := neighbours(e, r)
 	r.adj = ops.adjFor()
 
-	s0 := r.newHeader(n)
-	for i := range s0 {
-		row := r.newRow(n)
-		ops.encodeRow(row, start.RowView(i))
-		s0[i] = row
+	t0 := 0
+	var prev []Row
+	if rs == nil {
+		s0 := r.newHeader(n)
+		for i := range s0 {
+			row := r.newRow(n)
+			ops.encodeRow(row, start.RowView(i))
+			s0[i] = row
+		}
+		r.put(0, s0)
+		prev = s0
+	} else {
+		// Resume: repopulate the history ring from the snapshot's
+		// materialised states, restore the exact incremental matrices, and
+		// rebuild the derived dirty summaries from them. From here the loop
+		// proceeds from step t0+1 exactly as the uninterrupted run did.
+		t0 = rs.Step
+		base := rs.Step - len(rs.States) + 1
+		for idx, st := range rs.States {
+			s := r.newHeader(n)
+			for i := 0; i < n; i++ {
+				row := r.newRow(n)
+				ops.encodeRow(row, st.RowView(i))
+				s[i] = row
+			}
+			r.put(base+idx, s)
+			prev = s
+		}
+		if e.incremental {
+			copy(r.inc.ver, rs.Ver)
+			copy(r.lastComp, rs.LastComp)
+			copy(r.lastRead, rs.LastRead)
+			rebuildIncSummaries(r.inc, rs.Step)
+		}
+		r.stats = rs.Stats
 	}
-	r.put(0, s0)
 
 	actives := r.actives[:0]
 	tabs := r.tabs // per-node β-resolved table scratch
 	tasks := r.tasks
-	prev := s0
 
 	// Per-step incremental scratch. loArena backs the per-task threshold
 	// slices; its capacity covers every active row's degree, so in-step
@@ -872,6 +903,19 @@ func runLoop[R, Row any](e *Engine[R], ops rowOps[R, Row], start *matrix.State[R
 		certStmp = r.certStmp
 	}
 	lastChange := 0
+	if rs != nil && doTerm {
+		// Restore the certification state: the generation counter restarts
+		// at 1, but only membership matters — the restored set and
+		// last-change step make every future certify/terminate decision
+		// identical to the uninterrupted run's.
+		lastChange = rs.LastChange
+		for i, c := range rs.Certified {
+			if c {
+				certStmp[i] = certGen
+				nCert++
+			}
+		}
+	}
 	steps := T
 	converged := false
 	var marks []*matrix.State[R]
@@ -879,7 +923,7 @@ func runLoop[R, Row any](e *Engine[R], ops rowOps[R, Row], start *matrix.State[R
 		marks = make([]*matrix.State[R], 0, len(tl.events))
 	}
 
-	for t := 1; t <= T; t++ {
+	for t := t0 + 1; t <= T; t++ {
 		if tl != nil && tl.next < len(tl.events) && tl.events[tl.next].Step == t {
 			// Timeline event step: no node activates. Restarted nodes'
 			// rows are replaced by the identity row (recorded as changes
@@ -946,6 +990,9 @@ func runLoop[R, Row any](e *Engine[R], ops rowOps[R, Row], start *matrix.State[R
 				}
 			}
 			if e.incremental {
+				for _, i := range ev.Invalidate {
+					r.lastComp[i] = -1
+				}
 				r.inc.top = int32(t)
 			}
 			r.put(t, cur)
@@ -1146,6 +1193,14 @@ func runLoop[R, Row any](e *Engine[R], ops rowOps[R, Row], start *matrix.State[R
 				// perturb it, so the run must keep marching.
 				steps = t
 				converged = true
+				break
+			}
+		}
+
+		if sp != nil && t == sp.at {
+			sp.snap = captureSnapshot(e, r, ops, n, window, t, doTerm, lastChange, certStmp, certGen, nCert)
+			if sp.halt {
+				steps = t
 				break
 			}
 		}

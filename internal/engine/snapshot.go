@@ -1,0 +1,261 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// Snapshot is the complete resumable state of a bounded-window run right
+// after some step k: the resident history ring (materialised), the exact
+// incremental matrices (last-changed, last-recomputation, last-read),
+// the convergence-certification state, and the run counters. Restore
+// rebuilds a run from it and continues at step k+1; the continuation is
+// bit-identical — in cells and in the work counters — to the run that
+// was never interrupted, which is what makes preemption, crash recovery
+// and multi-process hand-off safe.
+//
+// The derived dirty summaries (word/row maxima and the change-mask ring)
+// are deliberately not captured: they are reconstructed from the
+// last-changed matrix at restore, which is smaller on the wire and
+// provably equivalent (see rebuildIncSummaries).
+//
+// The schedule-source cursor is the step index itself: the engine's lazy
+// sources (Hashed, Synchronous, RoundRobin) are pure functions of
+// (seed, t, i, k), so resuming at step k+1 needs nothing beyond Step.
+// Restore must be given a source equal to the one the snapshot was taken
+// under; it validates everything it can observe (node count, window,
+// incremental and certification modes) and trusts the caller for the
+// rest.
+type Snapshot[R any] struct {
+	// N is the node count; Step the last completed step; Window the
+	// history ring depth the run was using.
+	N, Step, Window int
+	// States are the resident ring states, oldest first; the last entry
+	// is δ^Step(X). len(States) = min(Step, Window) + 1.
+	States []*matrix.State[R]
+	// Incremental reports whether the run tracked changes; the three
+	// matrices below are nil otherwise. Ver is the last-changed matrix
+	// (ver[k·n+j] = time node k's route to j last changed), LastComp the
+	// per-node last-recomputation times (−1 = never), LastRead the β each
+	// node used at its last recomputation.
+	Incremental bool
+	Ver         []int32
+	LastComp    []int32
+	LastRead    []int32
+	// Certified, non-nil exactly when the run was certifying convergence
+	// (a Fair source with termination on), marks the nodes certified in
+	// the current generation; LastChange is the last step the state
+	// changed.
+	Certified  []bool
+	LastChange int
+	// Stats are the run counters at the capture point, cell counts
+	// folded in. A restored run continues them, so the continuation's
+	// final Stats match the uninterrupted run's (allocator-dependent
+	// counters — RowsRecycled, Retained — excepted).
+	Stats Stats
+}
+
+// validate checks the snapshot's internal consistency, returning a
+// descriptive error rather than letting malformed (e.g. decoded but
+// corrupt) state panic deep inside the evaluation loop.
+func (s *Snapshot[R]) validate() error {
+	if s.N < 1 {
+		return fmt.Errorf("engine: snapshot has %d nodes", s.N)
+	}
+	if s.Window < 1 {
+		return fmt.Errorf("engine: snapshot window %d, want ≥ 1", s.Window)
+	}
+	if s.Step < 1 {
+		return fmt.Errorf("engine: snapshot at step %d, want ≥ 1", s.Step)
+	}
+	want := s.Step + 1
+	if s.Window < s.Step {
+		want = s.Window + 1
+	}
+	if len(s.States) != want {
+		return fmt.Errorf("engine: snapshot at step %d with window %d holds %d states, want %d",
+			s.Step, s.Window, len(s.States), want)
+	}
+	for i, st := range s.States {
+		if st == nil || st.N != s.N {
+			return fmt.Errorf("engine: snapshot state %d malformed", i)
+		}
+	}
+	if s.Incremental {
+		if len(s.Ver) != s.N*s.N || len(s.LastRead) != s.N*s.N || len(s.LastComp) != s.N {
+			return fmt.Errorf("engine: snapshot incremental matrices have wrong shape")
+		}
+		for j, v := range s.Ver {
+			if int(v) > s.Step || v < 0 {
+				return fmt.Errorf("engine: snapshot ver[%d]=%d outside [0, %d]", j, v, s.Step)
+			}
+		}
+	} else if s.Ver != nil || s.LastComp != nil || s.LastRead != nil {
+		return fmt.Errorf("engine: snapshot carries incremental matrices but is not incremental")
+	}
+	if s.Certified != nil && len(s.Certified) != s.N {
+		return fmt.Errorf("engine: snapshot certification state has wrong shape")
+	}
+	if s.LastChange < 0 || s.LastChange > s.Step {
+		return fmt.Errorf("engine: snapshot last change %d outside [0, %d]", s.LastChange, s.Step)
+	}
+	return nil
+}
+
+// snapPlan asks runLoop to capture a Snapshot right after step at; halt
+// additionally stops the run there (preemption).
+type snapPlan[R any] struct {
+	at   int
+	halt bool
+	snap *Snapshot[R]
+}
+
+// captureSnapshot materialises the run's complete state after step t.
+// It only reads; the run continues undisturbed when the plan does not
+// halt.
+func captureSnapshot[R, Row any](e *Engine[R], r *run[R, Row], ops rowOps[R, Row],
+	n, window, t int, doTerm bool, lastChange int, certStmp []int32, certGen int32, nCert int) *Snapshot[R] {
+	s := &Snapshot[R]{N: n, Step: t, Window: window, LastChange: lastChange}
+	lo := t - window
+	if lo < 0 {
+		lo = 0
+	}
+	for b := lo; b <= t; b++ {
+		s.States = append(s.States, ops.materialise(r.ring[b%(window+1)]))
+	}
+	if e.incremental {
+		s.Incremental = true
+		s.Ver = append([]int32(nil), r.inc.ver...)
+		s.LastComp = append([]int32(nil), r.lastComp...)
+		s.LastRead = append([]int32(nil), r.lastRead...)
+	}
+	if doTerm {
+		s.Certified = make([]bool, n)
+		for i := range s.Certified {
+			s.Certified[i] = certStmp[i] == certGen
+		}
+		_ = nCert
+	}
+	s.Stats = r.stats
+	s.Stats.Steps = t
+	s.Stats.ConvergedAt = -1
+	if e.incremental {
+		s.Stats.CellsComputed += int(r.inc.cells.Load())
+	}
+	return s
+}
+
+// rebuildIncSummaries reconstructs the derived dirty summaries — the
+// word and row maxima and the change-mask ring — from the exact
+// last-changed matrix, after Ver/LastComp/LastRead have been restored.
+//
+// The mask ring reconstruction places each column's bit at its latest
+// change step only, where the original run also left bits at older
+// in-window change steps. The dirty resolution is unaffected: it only
+// ever consumes the ring as a union over an interval (l, top], and both
+// the original and the reconstructed union equal {j : ver[j] > l} — a
+// column that changed in the interval has its latest change there too
+// (nothing changes after top), and a column whose latest change is at or
+// before l contributes to no slot of the interval. The scan path reads
+// ver directly and the word/row maxima are exactly the per-word and
+// per-row maxima of ver, so every threshold compare resolves the same
+// dirty set as the uninterrupted run — which is why restored runs
+// recompute exactly the same cells.
+func rebuildIncSummaries(inc *incShared, top int) {
+	n, wper := inc.n, inc.wper
+	clear(inc.wordMax)
+	clear(inc.rowMax)
+	clear(inc.hist)
+	clear(inc.histStamp)
+	for k := 0; k < n; k++ {
+		row := inc.ver[k*n : (k+1)*n]
+		var rmax int32
+		for j, v := range row {
+			if v == 0 {
+				continue
+			}
+			wi := j >> 6
+			if v > inc.wordMax[k*wper+wi] {
+				inc.wordMax[k*wper+wi] = v
+			}
+			if v > rmax {
+				rmax = v
+			}
+			if int(v) > top-histH {
+				slot := k*histH + int(v)&(histH-1)
+				inc.hist[slot*wper+wi] |= 1 << (j & 63)
+				inc.histStamp[slot] = v
+			}
+		}
+		inc.rowMax[k] = rmax
+	}
+	inc.top = int32(top)
+}
+
+// RunSnapshot evaluates δ from start over src exactly like Run while
+// capturing a resumable Snapshot of the complete evaluation state right
+// after step at. With halt the run stops there — the preemption /
+// checkpoint-and-exit form — and the returned Result covers only steps
+// 1..at; otherwise the run continues to its normal end, so a single call
+// yields both the uninterrupted result and the snapshot: the
+// differential pair the restore tests compare.
+//
+// Snapshot capture requires a bounded history window (a KeepAll run has
+// no compact resumable state) and always evaluates on the interface row
+// representation, which is bit-identical to the columnar path by
+// contract. The returned snapshot is nil when the run certified
+// convergence and stopped before reaching at.
+func (e *Engine[R]) RunSnapshot(start *matrix.State[R], src Source, at int, halt bool) (*Result[R], *Snapshot[R]) {
+	n := src.Nodes()
+	if n != e.adj.N {
+		panic(fmt.Sprintf("engine: source has %d nodes but adjacency has %d", n, e.adj.N))
+	}
+	window, doTerm, fairP := e.planRun(src)
+	T := src.Horizon()
+	if window < 0 {
+		panic("engine: RunSnapshot needs a bounded history window (the source must be Bounded or Fair, or set Config.HistoryWindow > 0)")
+	}
+	if at < 1 || at > T {
+		panic(fmt.Sprintf("engine: snapshot step %d outside [1, %d]", at, T))
+	}
+	sp := &snapPlan[R]{at: at, halt: halt}
+	res := runLoop(e, genOps[R]{e: e}, start, src, n, window, T, doTerm, fairP, nil, sp, nil)
+	return res, sp.snap
+}
+
+// Restore resumes a snapshotted run: it rebuilds the evaluation state
+// from snap and continues over src from step snap.Step+1 to the horizon.
+// src must describe the same schedule the snapshot was taken under (for
+// the engine's lazy sources that means equal parameters; for
+// materialised schedules, the same recording); the engine must be built
+// over the same algebra and topology with the same incremental and
+// termination configuration. Everything observable is validated and
+// returned as an error — a corrupt or mismatched snapshot never panics.
+func (e *Engine[R]) Restore(snap *Snapshot[R], src Source) (*Result[R], error) {
+	if err := snap.validate(); err != nil {
+		return nil, err
+	}
+	n := src.Nodes()
+	if n != e.adj.N {
+		return nil, fmt.Errorf("engine: source has %d nodes but adjacency has %d", n, e.adj.N)
+	}
+	if snap.N != n {
+		return nil, fmt.Errorf("engine: snapshot has %d nodes but source has %d", snap.N, n)
+	}
+	window, doTerm, fairP := e.planRun(src)
+	if window != snap.Window {
+		return nil, fmt.Errorf("engine: snapshot window %d but this run resolves window %d", snap.Window, window)
+	}
+	if snap.Incremental != e.incremental {
+		return nil, fmt.Errorf("engine: snapshot incremental=%v but engine incremental=%v", snap.Incremental, e.incremental)
+	}
+	if doTerm != (snap.Certified != nil) {
+		return nil, fmt.Errorf("engine: snapshot certifying=%v but this run certifying=%v", snap.Certified != nil, doTerm)
+	}
+	T := src.Horizon()
+	if snap.Step > T {
+		return nil, fmt.Errorf("engine: snapshot at step %d beyond horizon %d", snap.Step, T)
+	}
+	return runLoop(e, genOps[R]{e: e}, nil, src, n, window, T, doTerm, fairP, nil, nil, snap), nil
+}

@@ -31,6 +31,15 @@ type TimelineEvent[R any] struct {
 	// is reset to the identity row (trivial to self, invalid elsewhere),
 	// generalising simulate.Restart to the stepped engine.
 	Restart []int
+	// Invalidate lists rows whose incremental reuse is abandoned at this
+	// step without touching topology or state: their next activation
+	// recomputes every destination in full (with change tracking). This
+	// is how a suspended node — a crash window whose activations the
+	// schedule masks — rejoins the run: its first activation after
+	// recovery rebuilds its row from scratch, exactly as a router
+	// restored from a snapshot of its own table would. An event may carry
+	// only Invalidate.
+	Invalidate []int
 }
 
 // timeline is the runLoop-side cursor over a RunTimeline event list.
@@ -65,7 +74,7 @@ func (e *Engine[R]) RunTimeline(start *matrix.State[R], src Source, events []Tim
 	validateTimeline(events, n, T)
 	window, doTerm, fairP := e.planRun(src)
 	tl := &timeline[R]{events: events}
-	return runLoop(e, genOps[R]{e: e}, start, src, n, window, T, doTerm, fairP, tl)
+	return runLoop(e, genOps[R]{e: e}, start, src, n, window, T, doTerm, fairP, tl, nil, nil)
 }
 
 func validateTimeline[R any](events []TimelineEvent[R], n, T int) {
@@ -77,8 +86,8 @@ func validateTimeline[R any](events []TimelineEvent[R], n, T int) {
 		if ev.Step > T {
 			panic(fmt.Sprintf("engine: timeline event %d at step %d beyond horizon %d", idx, ev.Step, T))
 		}
-		if ev.Mutate == nil && len(ev.Restart) == 0 {
-			panic(fmt.Sprintf("engine: timeline event %d at step %d does nothing (no Mutate, no Restart)", idx, ev.Step))
+		if ev.Mutate == nil && len(ev.Restart) == 0 && len(ev.Invalidate) == 0 {
+			panic(fmt.Sprintf("engine: timeline event %d at step %d does nothing (no Mutate, no Restart, no Invalidate)", idx, ev.Step))
 		}
 		for _, i := range ev.Restart {
 			if i < 0 || i >= n {
@@ -86,6 +95,11 @@ func validateTimeline[R any](events []TimelineEvent[R], n, T int) {
 			}
 		}
 		for _, i := range ev.Rows {
+			if i < 0 || i >= n {
+				panic(fmt.Sprintf("engine: timeline event %d invalidates row %d, want [0, %d)", idx, i, n))
+			}
+		}
+		for _, i := range ev.Invalidate {
 			if i < 0 || i >= n {
 				panic(fmt.Sprintf("engine: timeline event %d invalidates row %d, want [0, %d)", idx, i, n))
 			}

@@ -63,6 +63,15 @@ horizon 100
 at 25 restart 1
 at 50 restart 2
 `))
+	f.Add([]byte(`scenario rip-crash-window
+topo ring 6 rip
+seed 13
+horizon 200
+loss 0.1
+at 30 crash 2
+at 80 recover 2
+at 110 linkdown 0 1
+`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sc, err := Parse(data)

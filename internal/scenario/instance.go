@@ -197,6 +197,10 @@ func (in *instance[R]) apply(ev Event, adj *matrix.Adjacency[R]) {
 	case SetRank:
 		in.spp.SetRank(ev.Rank, ev.Path...)
 		adj.Touch()
+	case NodeCrash, NodeRecover:
+		// Crash and recover change no topology; each substrate plays them
+		// through its own liveness machinery (schedule masking, simulator
+		// down set, live CrashNode/RecoverNode).
 	}
 }
 
@@ -214,14 +218,22 @@ func (in *instance[R]) affectedRows(ev Event) []int {
 	}
 }
 
-// timeline compiles the scenario events for engine.RunTimeline.
+// timeline compiles the scenario events for engine.RunTimeline. A crash
+// is a pure marker on the engine substrate — the plan has already masked
+// the node's activations for the window, so the event only abandons the
+// row's incremental bookkeeping (the dying process takes it along). A
+// recover is a restart: the node reboots wiped and its first activation
+// rebuilds the row in full.
 func (in *instance[R]) timeline(events []Event) []engine.TimelineEvent[R] {
 	out := make([]engine.TimelineEvent[R], 0, len(events))
 	for _, ev := range events {
 		te := engine.TimelineEvent[R]{Step: ev.Step}
-		if ev.Kind == Restart {
+		switch ev.Kind {
+		case Restart, NodeRecover:
 			te.Restart = []int{ev.Node}
-		} else {
+		case NodeCrash:
+			te.Invalidate = []int{ev.Node}
+		default:
 			ev := ev
 			te.Mutate = func(adj *matrix.Adjacency[R]) { in.apply(ev, adj) }
 			te.Rows = in.affectedRows(ev)

@@ -22,6 +22,8 @@ import (
 //	at 30 linkdown 3 0
 //	at 60 linkup 3 0
 //	at 80 restart 2
+//	at 85 crash 1            # node 1 goes down (must recover later)
+//	at 95 recover 1          # ... and comes back
 //	at 90 rank 3 1 2 3 0     # set rank 3 on path 1→2→3→0 (gadgets)
 //	at 40 weight 2 1 2       # set weight 2 on link 1–2 (topologies)
 //
@@ -182,6 +184,18 @@ func parseEvent(f []string) (Event, error) {
 			return Event{}, err
 		}
 		ev.Kind, ev.Node = Restart, v[0]
+	case "crash":
+		v, err := ints(1)
+		if err != nil {
+			return Event{}, err
+		}
+		ev.Kind, ev.Node = NodeCrash, v[0]
+	case "recover":
+		v, err := ints(1)
+		if err != nil {
+			return Event{}, err
+		}
+		ev.Kind, ev.Node = NodeRecover, v[0]
 	case "rank":
 		if len(args) < 3 {
 			return Event{}, fmt.Errorf("usage: at <step> rank <rank> <node...>")
@@ -252,8 +266,8 @@ func (sc *Scenario) Encode() []byte {
 		switch ev.Kind {
 		case LinkDown, LinkUp:
 			fmt.Fprintf(&b, "at %d %s %d %d\n", ev.Step, ev.Kind, ev.A, ev.B)
-		case Restart:
-			fmt.Fprintf(&b, "at %d restart %d\n", ev.Step, ev.Node)
+		case Restart, NodeCrash, NodeRecover:
+			fmt.Fprintf(&b, "at %d %s %d\n", ev.Step, ev.Kind, ev.Node)
 		case SetRank:
 			fmt.Fprintf(&b, "at %d rank %d", ev.Step, ev.Rank)
 			for _, v := range ev.Path {

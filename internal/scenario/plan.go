@@ -46,6 +46,25 @@ func newPlan(sc *Scenario, n int) *plan {
 	}
 	p.starts = append(p.starts, prev)
 	p.segs = append(p.segs, schedule.Random(rng, n, sc.Horizon-prev, opts))
+	// Crash windows mask the down node's activations in the materialised
+	// segments themselves — not as a lookup-time overlay — so the
+	// reference replay, which consumes the same segment schedules,
+	// automatically sees the identical masked run. Validate guarantees
+	// every crash has its recover.
+	downFrom := make(map[int]int)
+	for _, ev := range sc.Events {
+		switch ev.Kind {
+		case NodeCrash:
+			downFrom[ev.Node] = ev.Step
+		case NodeRecover:
+			for t := downFrom[ev.Node] + 1; t < ev.Step; t++ {
+				if s, tau, ok := p.seg(t); ok {
+					p.segs[s].SetActive(tau, ev.Node, false)
+				}
+			}
+			delete(downFrom, ev.Node)
+		}
+	}
 	return p
 }
 

@@ -136,14 +136,18 @@ func replayReference[R any](in *instance[R], p *plan, events []Event) (bounds []
 		if s < len(events) {
 			ev := events[s]
 			next := cur.Clone()
-			if ev.Kind == Restart {
+			switch ev.Kind {
+			case Restart, NodeRecover:
 				row := make([]R, in.n)
 				for j := range row {
 					row[j] = in.alg.Invalid()
 				}
 				row[ev.Node] = in.alg.Trivial()
 				next.SetRow(ev.Node, row)
-			} else {
+			case NodeCrash:
+				// The crash instant changes no state; the plan has already
+				// masked the node's activations for the down window.
+			default:
 				in.apply(ev, in.adj)
 			}
 			cur = next
@@ -253,14 +257,19 @@ func runSimulate[R any](sc *Scenario, build func(*Scenario) (*instance[R], error
 	var changes []simulate.Change[R]
 	for _, ev := range sc.Events {
 		ev := ev
-		if ev.Kind == Restart {
+		switch ev.Kind {
+		case Restart:
 			cfg.Restarts = append(cfg.Restarts, simulate.Restart{Time: int64(ev.Step) * simTick, Node: ev.Node})
-			continue
+		case NodeCrash:
+			cfg.Crashes = append(cfg.Crashes, simulate.Crash{Time: int64(ev.Step) * simTick, Node: ev.Node})
+		case NodeRecover:
+			cfg.Recovers = append(cfg.Recovers, simulate.Crash{Time: int64(ev.Step) * simTick, Node: ev.Node})
+		default:
+			changes = append(changes, simulate.Change[R]{
+				Time:   int64(ev.Step) * simTick,
+				Mutate: func(adj *matrix.Adjacency[R]) { inst.apply(ev, adj) },
+			})
 		}
-		changes = append(changes, simulate.Change[R]{
-			Time:   int64(ev.Step) * simTick,
-			Mutate: func(adj *matrix.Adjacency[R]) { inst.apply(ev, adj) },
-		})
 	}
 	out := simulate.RunDynamic(inst.alg, inst.adj, inst.start, cfg, nil, changes)
 	sr.Converged = out.Converged
@@ -339,5 +348,9 @@ func applyLive[R any](in *instance[R], nw *dist.Network[R], ev Event) {
 		nw.SetEdge(ev.B, ev.A, in.weightEdge(ev.Weight))
 	case SetRank:
 		nw.Mutate(func() { in.spp.SetRank(ev.Rank, ev.Path...) })
+	case NodeCrash:
+		nw.CrashNode(ev.Node)
+	case NodeRecover:
+		nw.RecoverNode(ev.Node)
 	}
 }

@@ -104,6 +104,79 @@ at 90 restart 4
 	}
 }
 
+// TestScenarioCrashRecoverAcrossSubstrates plays a crash/recover window
+// (plus a link failure while the node is down) on all three substrates.
+// RIP must converge everywhere (Theorem 7 — the recovered node's state,
+// wiped or restored from a live snapshot, is just another arbitrary
+// starting state), the engine must stay bit-identical to the masked
+// segment-wise reference, and all substrates must land on one fixed
+// point.
+func TestScenarioCrashRecoverAcrossSubstrates(t *testing.T) {
+	sc, err := Parse([]byte(`scenario rip-crash-recover
+topo ring 6 rip
+seed 13
+horizon 200
+at 30 crash 2
+at 50 linkdown 4 5
+at 80 recover 2
+at 110 linkup 4 5
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(sc, SubEngine, SubSim, SubDist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sr := range rep.Substrates {
+		if sr.Substrate == SubEngine && !sr.ReferenceOK {
+			t.Errorf("engine diverged from the reference under a crash window\n%s", rep)
+		}
+		if sr.Substrate != SubEngine && !sr.Converged {
+			t.Errorf("%s did not quiesce after crash/recover\n%s", sr.Substrate, rep)
+		}
+		if sr.Class.Verdict != VerdictConverged || !sr.Stable {
+			t.Errorf("%s: verdict=%s stable=%v, want converged+stable\n%s",
+				sr.Substrate, sr.Class.Verdict, sr.Stable, rep)
+		}
+	}
+	eng, sim, dst := rep.Substrates[0], rep.Substrates[1], rep.Substrates[2]
+	if eng.FinalTable != sim.FinalTable || eng.FinalTable != dst.FinalTable {
+		t.Errorf("substrates settled on different fixed points:\nengine:\n%s\nsim:\n%s\ndist:\n%s",
+			eng.FinalTable, sim.FinalTable, dst.FinalTable)
+	}
+}
+
+// TestScenarioCrashValidation pins the pairing rules: a crash without a
+// recover, a double crash, a stray recover and a restart of a down node
+// are all rejected at validation time.
+func TestScenarioCrashValidation(t *testing.T) {
+	bad := []string{
+		"scenario x\ntopo ring 4 rip\nseed 1\nhorizon 50\nat 10 crash 1\n",
+		"scenario x\ntopo ring 4 rip\nseed 1\nhorizon 50\nat 10 crash 1\nat 20 crash 1\nat 30 recover 1\n",
+		"scenario x\ntopo ring 4 rip\nseed 1\nhorizon 50\nat 10 recover 1\n",
+		"scenario x\ntopo ring 4 rip\nseed 1\nhorizon 50\nat 10 crash 1\nat 20 restart 1\nat 30 recover 1\n",
+	}
+	for i, src := range bad {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("case %d: invalid crash/recover timeline accepted", i)
+		}
+	}
+	// The well-formed version round-trips through Encode.
+	good := "scenario x\ntopo ring 4 rip\nseed 1\nhorizon 50\nat 10 crash 1\nat 30 recover 1\n"
+	sc, err := Parse([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := Parse(sc.Encode())
+	if err != nil {
+		t.Fatalf("Encode output does not re-parse: %v", err)
+	}
+	if len(sc2.Events) != 2 || sc2.Events[0].Kind != NodeCrash || sc2.Events[1].Kind != NodeRecover {
+		t.Fatalf("crash/recover lost in the Encode round trip: %+v", sc2.Events)
+	}
+}
+
 // TestScenarioLongHorizon: the engine stays bit-identical to the
 // reference across a long post-event tail. Scenario plans are
 // materialised segment by segment, so they make no fairness promise and

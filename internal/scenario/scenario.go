@@ -36,6 +36,16 @@ const (
 	// SetWeight installs a new weight on both directions of a link — a
 	// live metric edit (topo family only).
 	SetWeight
+	// NodeCrash takes a node down: it stops activating and advertising
+	// until the matching NodeRecover, and whatever is delivered to it
+	// meanwhile is lost. Every crash must be paired with a later recover
+	// in the same timeline.
+	NodeCrash
+	// NodeRecover brings a crashed node back. On the engine and
+	// simulator substrates the node reboots wiped (restart semantics);
+	// on the live substrate it is restored from the supervisor's last
+	// snapshot of its table.
+	NodeRecover
 )
 
 // String renders the kind as its scenario-file keyword.
@@ -51,6 +61,10 @@ func (k EventKind) String() string {
 		return "rank"
 	case SetWeight:
 		return "weight"
+	case NodeCrash:
+		return "crash"
+	case NodeRecover:
+		return "recover"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -64,7 +78,7 @@ type Event struct {
 	Kind EventKind
 	// A, B are the link endpoints (LinkDown, LinkUp, SetWeight).
 	A, B int
-	// Node is the restarted node (Restart).
+	// Node is the affected node (Restart, NodeCrash, NodeRecover).
 	Node int
 	// Rank and Path identify a policy edit (SetRank): the permitted path
 	// as a node sequence and its new rank.
@@ -214,6 +228,12 @@ func (sc *Scenario) Validate() error {
 		return fmt.Errorf("scenario: %d events exceeds %d", len(sc.Events), maxEvents)
 	}
 	prev := 0
+	// downAt tracks crash/recover pairing: no double-crash, no recover of
+	// a node that is up, and — checked after the loop — no crash left
+	// unrecovered at the horizon. (A node meant to stay dead is a
+	// permanent partition, which is a topology, not a timeline: model it
+	// with linkdown.)
+	downAt := make(map[int]bool)
 	for idx, ev := range sc.Events {
 		if ev.Step <= prev || ev.Step > sc.Horizon {
 			return fmt.Errorf("scenario: event %d at step %d (steps must strictly increase within [1, horizon])", idx, ev.Step)
@@ -229,6 +249,25 @@ func (sc *Scenario) Validate() error {
 			if !inRange(ev.Node) {
 				return fmt.Errorf("scenario: event %d: bad node %d", idx, ev.Node)
 			}
+			if downAt[ev.Node] {
+				return fmt.Errorf("scenario: event %d: restart of crashed node %d (recover it first)", idx, ev.Node)
+			}
+		case NodeCrash:
+			if !inRange(ev.Node) {
+				return fmt.Errorf("scenario: event %d: bad node %d", idx, ev.Node)
+			}
+			if downAt[ev.Node] {
+				return fmt.Errorf("scenario: event %d: node %d is already down", idx, ev.Node)
+			}
+			downAt[ev.Node] = true
+		case NodeRecover:
+			if !inRange(ev.Node) {
+				return fmt.Errorf("scenario: event %d: bad node %d", idx, ev.Node)
+			}
+			if !downAt[ev.Node] {
+				return fmt.Errorf("scenario: event %d: recover of node %d, which is not down", idx, ev.Node)
+			}
+			downAt[ev.Node] = false
 		case SetRank:
 			if sc.Spec.Gadget == "" {
 				return fmt.Errorf("scenario: event %d: rank edits are gadget-only", idx)
@@ -256,6 +295,11 @@ func (sc *Scenario) Validate() error {
 			}
 		default:
 			return fmt.Errorf("scenario: event %d: unknown kind %d", idx, ev.Kind)
+		}
+	}
+	for node, d := range downAt {
+		if d {
+			return fmt.Errorf("scenario: node %d crashes but never recovers before the horizon", node)
 		}
 	}
 	return nil

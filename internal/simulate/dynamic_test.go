@@ -87,6 +87,43 @@ func TestDynamicPermanentPartition(t *testing.T) {
 	}
 }
 
+// TestDynamicCrashRecover takes a node down mid-run — no activations, no
+// deliveries, its in-flight traffic discarded — and brings it back wiped.
+// The run must refuse to settle during the outage and still converge on
+// the original fixed point afterwards (Theorem 7: the post-recovery
+// state is just another arbitrary starting state).
+func TestDynamicCrashRecover(t *testing.T) {
+	alg := algebras.HopCount{Limit: 7}
+	adj := matrix.NewAdjacency[algebras.NatInf](5)
+	link := func(a *matrix.Adjacency[algebras.NatInf], i, j int) {
+		a.SetEdge(i, j, alg.AddEdge(1))
+		a.SetEdge(j, i, alg.AddEdge(1))
+	}
+	for i := 0; i < 5; i++ {
+		link(adj, i, (i+1)%5)
+	}
+	want, _, _ := matrix.FixedPoint[algebras.NatInf](alg, adj, matrix.Identity[algebras.NatInf](alg, 5), 100)
+
+	out := Run[algebras.NatInf](alg, adj, matrix.Identity[algebras.NatInf](alg, 5), Config{
+		Seed:     81,
+		LossProb: 0.1,
+		Crashes:  []Crash{{Time: 120, Node: 2}},
+		Recovers: []Crash{{Time: 500, Node: 2}},
+	}, nil)
+	if !out.Converged {
+		t.Fatalf("did not converge after crash/recover: %s", out.Describe())
+	}
+	if out.ConvergedAt < 500 {
+		t.Fatalf("declared converged at t=%d, before the recovery at t=500", out.ConvergedAt)
+	}
+	if !out.Final.Equal(alg, want) {
+		t.Fatalf("post-recovery state is off the fixed point:\n%s", out.Final.Format(alg))
+	}
+	if out.Stats.Dropped == 0 {
+		t.Error("a crashed node's inbound traffic should have been dropped")
+	}
+}
+
 // TestDynamicPathVectorFlush checks that a topology change that strands a
 // path-vector route gets flushed after the change — stale inconsistent
 // routes are the whole reason Section 3.2 demands convergence from

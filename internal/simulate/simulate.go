@@ -49,10 +49,25 @@ type Config struct {
 	// dynamics): at each listed virtual time, the node's table and
 	// neighbour caches are replaced with garbage drawn by Gen.
 	Restarts []Restart
+	// Crashes take nodes down at a virtual time: a down node neither
+	// activates nor advertises, and anything delivered to it is discarded
+	// (the process is gone, so its loss is counted as drops). Recovers
+	// bring crashed nodes back with a restart-style wiped state — the
+	// crash lost whatever the node knew. The run cannot be declared
+	// converged while any node is down or any crash/recover is pending.
+	Crashes  []Crash
+	Recovers []Crash
 }
 
 // Restart resets one node to an arbitrary state at a virtual time.
 type Restart struct {
+	Time int64
+	Node int
+}
+
+// Crash marks one node down (Config.Crashes) or back up
+// (Config.Recovers) at a virtual time.
+type Crash struct {
 	Time int64
 	Node int
 }
@@ -117,6 +132,8 @@ const (
 	evDeliver
 	evRestart
 	evChange
+	evCrash
+	evRecover
 )
 
 type event[R any] struct {
@@ -165,6 +182,9 @@ type engine[R any] struct {
 	seq   int64
 	// recv[i][k] is the latest table row delivered to i from k.
 	recv [][][]R
+	// down[i] marks node i crashed: no activations, no deliveries, until
+	// the matching recover event.
+	down []bool
 	// state is the omniscient global view: row i is node i's table.
 	state      *matrix.State[R]
 	lastChange int64
@@ -284,6 +304,12 @@ func RunTraced[R any](
 	for _, r := range cfg.Restarts {
 		e.push(&event[R]{time: r.Time, kind: evRestart, node: r.Node})
 	}
+	for _, c := range cfg.Crashes {
+		e.push(&event[R]{time: c.Time, kind: evCrash, node: c.Node})
+	}
+	for _, c := range cfg.Recovers {
+		e.push(&event[R]{time: c.Time, kind: evRecover, node: c.Node})
+	}
 	for idx, c := range changes {
 		e.push(&event[R]{time: c.Time, kind: evChange, node: idx})
 	}
@@ -303,17 +329,29 @@ func (e *engine[R]) loop() Outcome[R] {
 		}
 		switch ev.kind {
 		case evActivate:
-			e.activate(now, ev.node)
-			// Quiescence check at activation boundaries (gated by the
-			// settle window to amortise its cost).
-			if now-e.lastChange >= cfg.SettleWindow && e.noRestartsPending(now) && e.quiescent() {
-				return Outcome[R]{
-					Final: e.state, Converged: true,
-					ConvergedAt: e.lastChange, EndTime: now, Stats: e.stats,
+			// A down node's timer keeps rescheduling (so activations resume
+			// after recovery) but the node itself does nothing while down.
+			if !e.isDown(ev.node) {
+				e.activate(now, ev.node)
+				// Quiescence check at activation boundaries (gated by the
+				// settle window to amortise its cost).
+				if now-e.lastChange >= cfg.SettleWindow && e.noRestartsPending(now) && e.quiescent() {
+					return Outcome[R]{
+						Final: e.state, Converged: true,
+						ConvergedAt: e.lastChange, EndTime: now, Stats: e.stats,
+					}
 				}
 			}
 			e.push(&event[R]{time: now + 1 + e.rng.Int63n(cfg.ActivateEvery), kind: evActivate, node: ev.node})
 		case evDeliver:
+			if e.isDown(ev.node) {
+				// The receiving process is gone; its loss is just loss.
+				e.stats.Dropped++
+				if e.rec != nil {
+					e.rec.Message(now, trace.MessageDropped, ev.from, ev.node)
+				}
+				continue
+			}
 			e.stats.Delivered++
 			if e.rec != nil {
 				e.rec.Message(now, trace.MessageDelivered, ev.from, ev.node)
@@ -321,6 +359,25 @@ func (e *engine[R]) loop() Outcome[R] {
 			e.recv[ev.node][ev.from] = ev.row
 			if e.recvStep != nil {
 				e.recvStep[ev.node][ev.from] = ev.step
+			}
+		case evCrash:
+			if e.down == nil {
+				e.down = make([]bool, e.adj.N)
+			}
+			e.down[ev.node] = true
+			e.lastChange = now
+			if e.rec != nil {
+				e.rec.Restart(now, ev.node)
+			}
+		case evRecover:
+			if e.isDown(ev.node) {
+				e.down[ev.node] = false
+				// The crash lost the node's state: it reboots wiped, the
+				// same semantics as a restart event.
+				e.restart(now, ev.node)
+				if e.rec != nil {
+					e.rec.Restart(now, ev.node)
+				}
 			}
 		case evRestart:
 			e.restart(now, ev.node)
@@ -338,6 +395,9 @@ func (e *engine[R]) loop() Outcome[R] {
 	}
 	return Outcome[R]{Final: e.state, Converged: false, EndTime: now, Stats: e.stats}
 }
+
+// isDown reports whether node i is crashed and not yet recovered.
+func (e *engine[R]) isDown(i int) bool { return e.down != nil && e.down[i] }
 
 func (e *engine[R]) push(ev *event[R]) {
 	ev.seq = e.seq
@@ -495,6 +555,11 @@ func (e *engine[R]) restart(now int64, i int) {
 // table. Under these conditions every future activation recomputes exactly
 // the current state, so nothing can ever change again.
 func (e *engine[R]) quiescent() bool {
+	for i := range e.down {
+		if e.down[i] {
+			return false // a partitioned network is not settled
+		}
+	}
 	if !matrix.IsStable(e.alg, e.adj, e.state) {
 		return false
 	}
@@ -529,6 +594,16 @@ func (e *engine[R]) quiescent() bool {
 func (e *engine[R]) noRestartsPending(now int64) bool {
 	for _, r := range e.cfg.Restarts {
 		if r.Time > now {
+			return false
+		}
+	}
+	for _, c := range e.cfg.Crashes {
+		if c.Time > now {
+			return false
+		}
+	}
+	for _, c := range e.cfg.Recovers {
+		if c.Time > now {
 			return false
 		}
 	}

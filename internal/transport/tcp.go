@@ -6,7 +6,14 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
+
+// MaxFrame caps a received frame's claimed payload size. A full-table
+// advertisement is a few KB per node even on the largest instances here,
+// so anything above this is a corrupt or hostile length prefix; the
+// reader rejects it before allocating a byte.
+const MaxFrame = 1 << 20
 
 // TCP is a Transport whose nodes are TCP listeners on the loopback
 // interface exchanging length-prefixed frames. It exists to run the live
@@ -14,12 +21,14 @@ import (
 // by construction neither loses nor reorders within a connection, though
 // the engine tolerates both).
 type TCP struct {
-	mu        sync.Mutex
-	listeners []net.Listener
-	chans     []chan Message
-	conns     map[int]net.Conn // cached dialled connections, keyed by destination
-	closed    bool
-	wg        sync.WaitGroup
+	mu         sync.Mutex
+	listeners  []net.Listener
+	chans      []chan Message
+	conns      map[int]net.Conn // cached dialled connections, keyed by destination
+	closed     bool
+	wg         sync.WaitGroup
+	frameErrs  atomic.Int64
+	queueDrops atomic.Int64
 }
 
 // NewTCP starts one loopback listener per node and returns the transport
@@ -69,8 +78,13 @@ func (t *TCP) readLoop(node int, conn net.Conn) {
 		}
 		from := int(binary.BigEndian.Uint32(hdr[0:4]))
 		size := binary.BigEndian.Uint32(hdr[4:8])
-		if size > 16<<20 {
-			return // corrupt frame; drop the connection
+		if size > MaxFrame || from < 0 || from >= len(t.chans) {
+			// Corrupt or hostile header: an implausible length prefix or
+			// an out-of-range sender. Reject before allocating anything
+			// and drop the connection — a desynchronised stream cannot be
+			// re-framed.
+			t.frameErrs.Add(1)
+			return
 		}
 		payload := make([]byte, size)
 		if _, err := io.ReadFull(conn, payload); err != nil {
@@ -87,13 +101,20 @@ func (t *TCP) readLoop(node int, conn net.Conn) {
 		case ch <- Message{From: from, To: node, Payload: payload}:
 		default:
 			// Receiver buffer full: drop, loss is permitted.
+			t.queueDrops.Add(1)
 		}
 	}
 }
 
+// FrameErrors counts connections dropped for corrupt or hostile frame
+// headers.
+func (t *TCP) FrameErrors() int64 { return t.frameErrs.Load() }
+
 // Send implements Transport: it dials (or reuses) a connection to the
-// destination and writes one frame. Failures tear down the cached
-// connection and count as loss.
+// destination and writes one frame. A dial or write failure tears down
+// the cached connection and is returned to the caller — semantically it
+// is still just loss (the model permits it), but a supervisor that wants
+// to retry with backoff needs to see it.
 func (t *TCP) Send(msg Message) error {
 	t.mu.Lock()
 	if t.closed {
@@ -107,7 +128,7 @@ func (t *TCP) Send(msg Message) error {
 		conn, err = net.Dial("tcp", t.listeners[msg.To].Addr().String())
 		if err != nil {
 			t.mu.Unlock()
-			return nil // unreachable peer = loss, by the model
+			return fmt.Errorf("transport: dialling node %d: %w", msg.To, err)
 		}
 		t.conns[key] = conn
 	}
@@ -119,7 +140,7 @@ func (t *TCP) Send(msg Message) error {
 		conn.Close()
 		delete(t.conns, key)
 		t.mu.Unlock()
-		return nil // failed write = loss
+		return fmt.Errorf("transport: writing to node %d: %w", msg.To, err)
 	}
 	t.mu.Unlock()
 	return nil

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -43,6 +44,29 @@ type Faults struct {
 	// wide interval, later messages routinely overtake earlier ones —
 	// reordering needs no extra mechanism.
 	MinDelay, MaxDelay time.Duration
+	// QueueLen bounds each node's receive buffer; 0 means the default
+	// (1024). A full buffer drops the message — overload is loss, which
+	// the model permits — but the drop is counted, never silent.
+	QueueLen int
+}
+
+// NodeStats counts one node's traffic through a Memory transport, keyed
+// by destination: messages accepted for delivery to the node, messages
+// dropped because its buffer was full, and injected duplicate copies.
+type NodeStats struct {
+	Sent, Dropped, Duplicated int64
+}
+
+// StatsReporter is implemented by transports that account per-node
+// traffic; the dist runtime surfaces the counts in its Outcome.
+type StatsReporter interface {
+	Stats() []NodeStats
+}
+
+// nodeCounters is the atomic backing of NodeStats: delivery goroutines
+// record drops concurrently with readers.
+type nodeCounters struct {
+	sent, dropped, duplicated atomic.Int64
 }
 
 // Memory is an in-process Transport with fault injection. The zero Faults
@@ -52,6 +76,7 @@ type Memory struct {
 	rng    *rand.Rand
 	faults Faults
 	chans  []chan Message
+	stats  []nodeCounters
 	closed bool
 	wg     sync.WaitGroup
 }
@@ -59,15 +84,33 @@ type Memory struct {
 // NewMemory builds an in-memory transport for n nodes; the seed drives all
 // fault randomness.
 func NewMemory(n int, seed int64, faults Faults) *Memory {
+	qlen := faults.QueueLen
+	if qlen <= 0 {
+		qlen = 1024
+	}
 	t := &Memory{
 		rng:    rand.New(rand.NewSource(seed)),
 		faults: faults,
 		chans:  make([]chan Message, n),
+		stats:  make([]nodeCounters, n),
 	}
 	for i := range t.chans {
-		t.chans[i] = make(chan Message, 1024)
+		t.chans[i] = make(chan Message, qlen)
 	}
 	return t
+}
+
+// Stats implements StatsReporter: a snapshot of each node's counters.
+func (t *Memory) Stats() []NodeStats {
+	out := make([]NodeStats, len(t.stats))
+	for i := range t.stats {
+		out[i] = NodeStats{
+			Sent:       t.stats[i].sent.Load(),
+			Dropped:    t.stats[i].dropped.Load(),
+			Duplicated: t.stats[i].duplicated.Load(),
+		}
+	}
+	return out
 }
 
 // Send implements Transport with loss, duplication and random delay.
@@ -83,16 +126,18 @@ func (t *Memory) Send(msg Message) error {
 	}
 	if t.rng.Float64() < t.faults.LossProb {
 		t.mu.Unlock()
-		return nil // dropped, silently — that is the contract
+		return nil // injected loss — that is the contract
 	}
 	copies := 1
 	if t.rng.Float64() < t.faults.DupProb {
 		copies = 2
+		t.stats[msg.To].duplicated.Add(1)
 	}
 	delays := make([]time.Duration, copies)
 	for c := range delays {
 		delays[c] = t.delayLocked()
 	}
+	t.stats[msg.To].sent.Add(int64(copies))
 	t.wg.Add(copies)
 	t.mu.Unlock()
 
@@ -112,7 +157,9 @@ func (t *Memory) Send(msg Message) error {
 			select {
 			case ch <- msg:
 			default:
-				// Receiver buffer full: drop. Loss is permitted.
+				// Receiver buffer full: overload is loss, but an
+				// accounted one — the runtime's outcome reports it.
+				t.stats[msg.To].dropped.Add(1)
 			}
 		}(d)
 	}

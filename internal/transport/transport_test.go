@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"net"
 	"testing"
 	"time"
 )
@@ -168,4 +169,123 @@ func TestTCPAddr(t *testing.T) {
 	if tr.Addr(0).String() == tr.Addr(1).String() {
 		t.Error("nodes must listen on distinct addresses")
 	}
+}
+
+func TestMemoryDropAccounting(t *testing.T) {
+	// A one-slot queue with nobody receiving: the first message parks in
+	// the buffer, the rest must be dropped — and counted.
+	tr := NewMemory(2, 7, Faults{QueueLen: 1})
+	defer tr.Close()
+	const sent = 20
+	for i := 0; i < sent; i++ {
+		if err := tr.Send(Message{From: 0, To: 1, Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Deliveries are asynchronous; wait for the counters to settle.
+	deadline := time.After(2 * time.Second)
+	for {
+		st := tr.Stats()[1]
+		if st.Dropped >= sent-1 {
+			if st.Sent != sent {
+				t.Fatalf("sent counter %d, want %d", st.Sent, sent)
+			}
+			if st.Dropped != sent-1 {
+				t.Fatalf("dropped counter %d, want %d", st.Dropped, sent-1)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("drop counter stuck at %d, want %d", st.Dropped, sent-1)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if st := tr.Stats()[0]; st.Sent != 0 || st.Dropped != 0 {
+		t.Fatalf("node 0 saw no traffic but counts %+v", st)
+	}
+}
+
+func TestMemoryDuplicationAccounting(t *testing.T) {
+	tr := NewMemory(2, 3, Faults{DupProb: 1})
+	defer tr.Close()
+	if err := tr.Send(Message{From: 0, To: 1, Payload: []byte{9}}); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(tr.Recv(1), 2, time.Second)
+	if len(got) != 2 {
+		t.Fatalf("delivered %d copies, want 2", len(got))
+	}
+	st := tr.Stats()[1]
+	if st.Duplicated != 1 || st.Sent != 2 {
+		t.Fatalf("stats %+v, want 1 duplication and 2 sends", st)
+	}
+}
+
+func TestTCPHostileFramePrefix(t *testing.T) {
+	// Regression: a hostile length prefix used to drive a make([]byte,
+	// size) of up to 16 MB per connection. The reader must now reject the
+	// header before allocating, count the frame error, and keep serving
+	// honest peers on other connections.
+	tr, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	hostile := [][]byte{
+		{0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF},       // 4 GB claimed payload
+		{0, 0, 0, 0, 0x7F, 0xFF, 0xFF, 0xFF},       // 2 GB
+		{0, 0, 0, 0, 0x00, 0x10, 0x00, 0x01},       // MaxFrame + 1
+		{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 4, 1, 2}, // out-of-range sender
+	}
+	for i, frame := range hostile {
+		conn, err := net.Dial("tcp", tr.Addr(1).String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatalf("hostile frame %d: %v", i, err)
+		}
+		// The reader must hang up on us.
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := conn.Read(make([]byte, 1)); err == nil {
+			t.Fatalf("hostile frame %d: connection not dropped", i)
+		}
+		conn.Close()
+	}
+	deadline := time.After(2 * time.Second)
+	for tr.FrameErrors() < int64(len(hostile)) {
+		select {
+		case <-deadline:
+			t.Fatalf("frame errors %d, want %d", tr.FrameErrors(), len(hostile))
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	// An honest frame still goes through afterwards.
+	if err := tr.Send(Message{From: 0, To: 1, Payload: []byte{42}}); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(tr.Recv(1), 1, 2*time.Second)
+	if len(got) != 1 || got[0].Payload[0] != 42 {
+		t.Fatalf("honest frame lost after hostile ones: %v", got)
+	}
+}
+
+func TestTCPSendFailureReturnsError(t *testing.T) {
+	tr, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill node 1's listener, then dial it: Send must surface the
+	// failure (a supervisor retries on it) instead of silently dropping.
+	tr.mu.Lock()
+	ln := tr.listeners[1]
+	tr.mu.Unlock()
+	ln.Close()
+	if err := tr.Send(Message{From: 0, To: 1, Payload: []byte{1}}); err == nil {
+		t.Fatal("Send to a dead listener returned nil")
+	}
+	tr.Close()
 }
