@@ -94,6 +94,14 @@ func realMain() int {
 			"delta mode: halt right after step -checkpoint-at and write a resumable checkpoint to this file")
 		ckptAt = flag.Int("checkpoint-at", 0,
 			"delta mode: step to checkpoint at (default T/2)")
+		serverAddr = flag.String("server", "",
+			"submit -scenario to a running dbfsimd daemon at this address instead of running locally")
+		tenantFlag = flag.String("tenant", "cli",
+			"tenant name for -server submissions")
+		runIDFlag = flag.String("run-id", "",
+			"run id for -server submissions (default: derived from the scenario name and time)")
+		deadlineFlag = flag.Duration("deadline", 0,
+			"optional completion deadline for -server submissions (0 = none)")
 		resumeFile = flag.String("resume", "",
 			"resume a checkpointed delta run to its horizon; the instance is rebuilt from the checkpoint's metadata and all other instance flags are ignored")
 	)
@@ -126,6 +134,9 @@ func realMain() int {
 		}()
 	}
 
+	if *serverAddr != "" {
+		return runRemote(*serverAddr, *scenFile, *tenantFlag, *runIDFlag, *deadlineFlag)
+	}
 	if *scenFile != "" {
 		return runScenario(*scenFile, *substrate)
 	}

@@ -224,6 +224,123 @@ func (e *Engine[R]) RunSnapshot(start *matrix.State[R], src Source, at int, halt
 	return res, sp.snap
 }
 
+// RunTimelineSnapshot is RunTimeline with a snapshot plan: it plays the
+// event timeline exactly like RunTimeline while capturing a resumable
+// Snapshot right after step at (halt additionally stops the run there —
+// the preemption form). at = 0 disables the capture, making the call
+// equivalent to RunTimeline on the interface representation; this is the
+// uniform entry point a preemptible service uses for every slice, so the
+// sliced and unsliced executions share one code path bit for bit.
+//
+// Because a timeline event's step performs no activations and is skipped
+// by the snapshot plan, at must not name an event step (pick the next
+// activation step instead); the call panics otherwise, like the other
+// timeline-shape contract violations.
+func (e *Engine[R]) RunTimelineSnapshot(start *matrix.State[R], src Source, events []TimelineEvent[R], at int, halt bool) (*Result[R], *Snapshot[R]) {
+	n := src.Nodes()
+	if n != e.adj.N {
+		panic(fmt.Sprintf("engine: source has %d nodes but adjacency has %d", n, e.adj.N))
+	}
+	T := src.Horizon()
+	validateTimeline(events, n, T)
+	window, doTerm, fairP := e.planRun(src)
+	if window < 0 {
+		panic("engine: RunTimelineSnapshot needs a bounded history window (the source must be Bounded or Fair, or set Config.HistoryWindow > 0)")
+	}
+	var sp *snapPlan[R]
+	if at != 0 {
+		if at < 1 || at > T {
+			panic(fmt.Sprintf("engine: snapshot step %d outside [1, %d]", at, T))
+		}
+		if eventAt(events, at) {
+			panic(fmt.Sprintf("engine: snapshot step %d is a timeline event step (no activation to capture after)", at))
+		}
+		sp = &snapPlan[R]{at: at, halt: halt}
+	}
+	var tl *timeline[R]
+	if len(events) > 0 {
+		tl = &timeline[R]{events: events}
+	}
+	res := runLoop(e, genOps[R]{e: e}, start, src, n, window, T, doTerm, fairP, tl, sp, nil)
+	if sp == nil {
+		return res, nil
+	}
+	return res, sp.snap
+}
+
+// RestoreTimeline resumes a snapshotted timeline run: the evaluation
+// state is rebuilt from snap, the remaining events — exactly those whose
+// Step exceeds snap.Step; the caller replays the earlier events'
+// mutations onto the instance before building the engine — continue to
+// fire at their steps, and, like RunTimelineSnapshot, a fresh Snapshot is
+// captured right after step at (0 = none; halt stops there). This is the
+// re-slice primitive of checkpoint-based preemption: a preempted run
+// resumes, runs one more quantum, and yields again, bit-identically to
+// the run that was never paused.
+func (e *Engine[R]) RestoreTimeline(snap *Snapshot[R], src Source, events []TimelineEvent[R], at int, halt bool) (*Result[R], *Snapshot[R], error) {
+	if err := snap.validate(); err != nil {
+		return nil, nil, err
+	}
+	n := src.Nodes()
+	if n != e.adj.N {
+		return nil, nil, fmt.Errorf("engine: source has %d nodes but adjacency has %d", n, e.adj.N)
+	}
+	if snap.N != n {
+		return nil, nil, fmt.Errorf("engine: snapshot has %d nodes but source has %d", snap.N, n)
+	}
+	window, doTerm, fairP := e.planRun(src)
+	if window != snap.Window {
+		return nil, nil, fmt.Errorf("engine: snapshot window %d but this run resolves window %d", snap.Window, window)
+	}
+	if snap.Incremental != e.incremental {
+		return nil, nil, fmt.Errorf("engine: snapshot incremental=%v but engine incremental=%v", snap.Incremental, e.incremental)
+	}
+	if doTerm != (snap.Certified != nil) {
+		return nil, nil, fmt.Errorf("engine: snapshot certifying=%v but this run certifying=%v", snap.Certified != nil, doTerm)
+	}
+	T := src.Horizon()
+	if snap.Step > T {
+		return nil, nil, fmt.Errorf("engine: snapshot at step %d beyond horizon %d", snap.Step, T)
+	}
+	validateTimeline(events, n, T)
+	if len(events) > 0 && events[0].Step <= snap.Step {
+		return nil, nil, fmt.Errorf("engine: timeline event at step %d not after snapshot step %d (already-fired events must not be replayed)",
+			events[0].Step, snap.Step)
+	}
+	var sp *snapPlan[R]
+	if at != 0 {
+		if at <= snap.Step || at > T {
+			return nil, nil, fmt.Errorf("engine: snapshot step %d outside (%d, %d]", at, snap.Step, T)
+		}
+		if eventAt(events, at) {
+			return nil, nil, fmt.Errorf("engine: snapshot step %d is a timeline event step", at)
+		}
+		sp = &snapPlan[R]{at: at, halt: halt}
+	}
+	var tl *timeline[R]
+	if len(events) > 0 {
+		tl = &timeline[R]{events: events}
+	}
+	res := runLoop(e, genOps[R]{e: e}, nil, src, n, window, T, doTerm, fairP, tl, sp, snap)
+	if sp == nil {
+		return res, nil, nil
+	}
+	return res, sp.snap, nil
+}
+
+// eventAt reports whether step is one of the timeline's event steps.
+func eventAt[R any](events []TimelineEvent[R], step int) bool {
+	for _, ev := range events {
+		if ev.Step == step {
+			return true
+		}
+		if ev.Step > step {
+			break
+		}
+	}
+	return false
+}
+
 // Restore resumes a snapshotted run: it rebuilds the evaluation state
 // from snap and continues over src from step snap.Step+1 to the horizon.
 // src must describe the same schedule the snapshot was taken under (for

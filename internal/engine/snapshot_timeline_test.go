@@ -1,0 +1,187 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/algebras"
+	"repro/internal/engine"
+	"repro/internal/matrix"
+)
+
+// The preemption contract: a timeline run chopped into quanta — each
+// slice captured with RunTimelineSnapshot/RestoreTimeline and resumed
+// from its snapshot — must be bit-identical, in cells and counters, to
+// the run that was never paused. This holds both when the same engine
+// resumes (in-process preemption: its adjacency already carries the
+// fired events' mutations) and when a fresh engine resumes from a fresh
+// adjacency with those mutations replayed (the cross-process drain /
+// restart path a checkpointing service takes).
+
+// flapEvents is a link-flap timeline over meshNet: cut a chord, restore
+// it, cut another, then restore it with a node restart. The Mutate
+// closures take the adjacency as a parameter, so one event list replays
+// onto any number of fresh topologies.
+func flapEvents(alg algebras.HopCount) []engine.TimelineEvent[algebras.NatInf] {
+	set := func(i, j int, up bool) func(adj *matrix.Adjacency[algebras.NatInf]) {
+		return func(adj *matrix.Adjacency[algebras.NatInf]) {
+			if up {
+				adj.SetEdge(i, j, alg.AddEdge(1))
+				adj.SetEdge(j, i, alg.AddEdge(1))
+			} else {
+				adj.SetEdge(i, j, nil)
+				adj.SetEdge(j, i, nil)
+			}
+		}
+	}
+	return []engine.TimelineEvent[algebras.NatInf]{
+		{Step: 20, Mutate: set(0, 6, false), Rows: []int{0, 6}},
+		{Step: 45, Mutate: set(0, 6, true), Rows: []int{0, 6}},
+		{Step: 70, Mutate: set(3, 9, false), Rows: []int{3, 9}},
+		{Step: 95, Mutate: set(3, 9, true), Rows: []int{3, 9}, Restart: []int{2}},
+	}
+}
+
+// remainingEvents returns the suffix of events strictly after step.
+func remainingEvents(events []engine.TimelineEvent[algebras.NatInf], step int) []engine.TimelineEvent[algebras.NatInf] {
+	i := 0
+	for i < len(events) && events[i].Step <= step {
+		i++
+	}
+	return events[i:]
+}
+
+// nextQuantumEnd picks the step a slice should snapshot at: quantum
+// steps past from, bumped past any event step (an event step performs no
+// activation, so there is nothing to capture after it). 0 means the
+// remaining run fits in the quantum — run to completion with no plan.
+func nextQuantumEnd(from, quantum, T int, isEvent map[int]bool) int {
+	at := from + quantum
+	for at <= T && isEvent[at] {
+		at++
+	}
+	if at > T {
+		return 0
+	}
+	return at
+}
+
+func TestTimelineSnapshotSlicedDifferential(t *testing.T) {
+	alg, _ := meshNet()
+	events := flapEvents(alg)
+	isEvent := map[int]bool{}
+	for _, ev := range events {
+		isEvent[ev.Step] = true
+	}
+	const T = 140
+	n := 12
+	src := engine.Hashed{N: n, T: T, Seed: 23, MaxGap: 6, MaxStaleness: 5}
+	start := matrix.Identity[algebras.NatInf](alg, n)
+
+	for _, cfg := range []struct {
+		label string
+		conf  engine.Config
+	}{
+		{"incremental", engine.Config{}},
+		{"full", engine.Config{Incremental: engine.IncOff}},
+	} {
+		for _, quantum := range []int{7, 17, 50} {
+			label := fmt.Sprintf("%s quantum=%d", cfg.label, quantum)
+
+			// The uninterrupted run: at=0 disables capture, so this is the
+			// plain timeline evaluation on the interface path.
+			_, fullAdj := meshNet()
+			fullEng := engine.New(alg, fullAdj, cfg.conf)
+			full, none := fullEng.RunTimelineSnapshot(start, src, events, 0, false)
+			if none != nil {
+				t.Fatalf("%s: at=0 captured a snapshot", label)
+			}
+			fullEng.Close()
+
+			// In-process preemption: one engine, sliced; its adjacency
+			// accumulates the events' mutations as the slices play them.
+			_, adj := meshNet()
+			eng := engine.New(alg, adj, cfg.conf)
+			res, snap := eng.RunTimelineSnapshot(start, src, events, nextQuantumEnd(0, quantum, T, isEvent), true)
+			slices := 1
+			for snap != nil {
+				at := nextQuantumEnd(snap.Step, quantum, T, isEvent)
+				var err error
+				res, snap, err = eng.RestoreTimeline(snap, src, remainingEvents(events, snap.Step), at, true)
+				if err != nil {
+					t.Fatalf("%s: slice %d: %v", label, slices, err)
+				}
+				slices++
+			}
+			if slices < 2 {
+				t.Fatalf("%s: run never sliced (quantum too big for horizon?)", label)
+			}
+			identicalStates(t, label+" sliced final", res.Final(), full.Final())
+			statsMatch(t, label+" sliced", res.Stats(), full.Stats())
+			eng.Close()
+
+			// Cross-process resume: every slice restores on a FRESH engine
+			// over a FRESH topology with the already-fired events' mutations
+			// replayed — exactly what a daemon does when it reloads a spooled
+			// checkpoint after a restart.
+			_, adj0 := meshNet()
+			eng0 := engine.New(alg, adj0, cfg.conf)
+			res, snap = eng0.RunTimelineSnapshot(start, src, events, nextQuantumEnd(0, quantum, T, isEvent), true)
+			eng0.Close()
+			for snap != nil {
+				_, fresh := meshNet()
+				for _, ev := range events {
+					if ev.Step > snap.Step {
+						break
+					}
+					if ev.Mutate != nil {
+						ev.Mutate(fresh)
+					}
+				}
+				e2 := engine.New(alg, fresh, cfg.conf)
+				at := nextQuantumEnd(snap.Step, quantum, T, isEvent)
+				var err error
+				res, snap, err = e2.RestoreTimeline(snap, src, remainingEvents(events, snap.Step), at, true)
+				if err != nil {
+					t.Fatalf("%s: fresh-engine resume: %v", label, err)
+				}
+				e2.Close()
+			}
+			identicalStates(t, label+" fresh-engine final", res.Final(), full.Final())
+			statsMatch(t, label+" fresh-engine", res.Stats(), full.Stats())
+		}
+	}
+}
+
+// TestRestoreTimelineRejectsBadShapes pins the validation surface of the
+// resume primitive: stale events and event-step snapshot targets must be
+// clean errors, never a wedged or silently wrong run.
+func TestRestoreTimelineRejectsBadShapes(t *testing.T) {
+	alg, _ := meshNet()
+	events := flapEvents(alg)
+	n := 12
+	src := engine.Hashed{N: n, T: 140, Seed: 23, MaxGap: 6, MaxStaleness: 5}
+	start := matrix.Identity[algebras.NatInf](alg, n)
+
+	_, adj := meshNet()
+	eng := engine.New(alg, adj, engine.Config{})
+	defer eng.Close()
+	_, snap := eng.RunTimelineSnapshot(start, src, events, 30, true)
+	if snap == nil || snap.Step != 30 {
+		t.Fatal("no snapshot at step 30")
+	}
+
+	// An event at or before the snapshot step can never fire again; the
+	// caller must pass only the remaining suffix.
+	if _, _, err := eng.RestoreTimeline(snap, src, events, 0, false); err == nil {
+		t.Fatal("RestoreTimeline accepted an already-fired event")
+	}
+	// A snapshot target on an event step has no activation to capture.
+	if _, _, err := eng.RestoreTimeline(snap, src, remainingEvents(events, 30), 45, true); err == nil {
+		t.Fatal("RestoreTimeline accepted a snapshot target on an event step")
+	}
+	// A target at or before the snapshot step is in the past.
+	if _, _, err := eng.RestoreTimeline(snap, src, remainingEvents(events, 30), 30, true); err == nil {
+		t.Fatal("RestoreTimeline accepted a snapshot target in the past")
+	}
+}

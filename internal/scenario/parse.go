@@ -29,7 +29,17 @@ import (
 //
 // Lines are keyword-led, '#' starts a comment, blank lines are skipped.
 // The result is validated before it is returned.
+//
+// Parse is a wire-input surface (the simulation service accepts scenario
+// text from untrusted clients), so every size is capped up front: the
+// input itself at MaxFileSize, the event count at its Validate bound as
+// the events are read (not after), and rank paths at the node bound — a
+// hostile input fails fast with a clean error instead of driving
+// allocation.
 func Parse(data []byte) (*Scenario, error) {
+	if len(data) > MaxFileSize {
+		return nil, fmt.Errorf("scenario: %d-byte input exceeds the %d-byte cap", len(data), MaxFileSize)
+	}
 	sc := &Scenario{Name: "unnamed", Horizon: 1}
 	seenHorizon := false
 	for lineNo, raw := range strings.Split(string(data), "\n") {
@@ -123,6 +133,9 @@ func Parse(data []byte) (*Scenario, error) {
 			}
 			sc.DupProb = v
 		case "at":
+			if len(sc.Events) >= maxEvents {
+				return fail("more than %d events", maxEvents)
+			}
 			ev, err := parseEvent(f)
 			if err != nil {
 				return fail("%v", err)
@@ -199,6 +212,9 @@ func parseEvent(f []string) (Event, error) {
 	case "rank":
 		if len(args) < 3 {
 			return Event{}, fmt.Errorf("usage: at <step> rank <rank> <node...>")
+		}
+		if len(args)-1 > maxNodes {
+			return Event{}, fmt.Errorf("rank path of %d nodes exceeds %d", len(args)-1, maxNodes)
 		}
 		r, err := parseInt(args[0], 1, 1<<20)
 		if err != nil {
@@ -281,8 +297,17 @@ func (sc *Scenario) Encode() []byte {
 	return []byte(b.String())
 }
 
-// Load reads and parses a scenario file.
+// MaxFileSize caps the scenario text Parse accepts. The format cannot
+// need more: 64 events of ≤ 80 bytes plus a handful of header lines fit
+// in a few KiB, so anything larger is hostile or corrupt.
+const MaxFileSize = 1 << 16
+
+// Load reads and parses a scenario file, refusing oversized files
+// before reading them.
 func Load(path string) (*Scenario, error) {
+	if fi, err := os.Stat(path); err == nil && fi.Size() > MaxFileSize {
+		return nil, fmt.Errorf("scenario: %s is %d bytes, over the %d-byte cap", path, fi.Size(), MaxFileSize)
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,422 @@
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/algebras"
+	"repro/internal/checkpoint"
+	"repro/internal/engine"
+	"repro/internal/gadgets"
+	"repro/internal/wire"
+)
+
+// Runner is a preemptible scenario run for the service path: the run is
+// advanced in quanta of engine steps, each quantum ends in a resumable
+// engine.Snapshot, and a paused run serialises to a self-describing
+// checkpoint file (the scenario text rides in the checkpoint metadata,
+// so any process can rebuild the instance and resume). The sliced run
+// is bit-identical — cells and work counters — to the run that was
+// never paused; the engine preemption primitives carry that proof, the
+// runner adds the instance rebuild: on resume it replays the mutations
+// of every already-fired event onto a fresh topology before restoring.
+//
+// Unlike Run, which differential-checks a materialised segmented
+// schedule against the reference evaluator, the Runner schedules with
+// the engine's lazy Hashed source: a pure function of (seed, step,
+// node), so the only schedule state a checkpoint needs is the step
+// index, and equal scenario text replays the identical run in any
+// process. The type parameter is erased behind the runnerCore
+// interface, so a server can hold mixed-family runs in one table.
+type Runner struct {
+	sc      *Scenario
+	evStep  map[int]bool
+	horizon int
+	step    int // last completed engine step (0 = not started)
+	done    bool
+	core    runnerCore
+}
+
+// runnerCore is the family-typed part of a Runner.
+type runnerCore interface {
+	// advance runs from the current position to target (snapshotting and
+	// halting there); target 0 runs to completion. Reports whether the
+	// run finished (horizon reached or convergence certified) and the
+	// step reached.
+	advance(target int) (step int, done bool, err error)
+	// checkpoint serialises the current snapshot (advance must have
+	// halted at least once).
+	checkpoint() ([]byte, error)
+	finalHash() uint64
+	finalTable() string
+	stats() engine.Stats
+	converged() (int, bool)
+	close()
+}
+
+// Serviceable reports whether the scenario can run on the service path.
+// Crash windows need activation masking that only the materialised
+// differential plan provides, so crash/recover timelines are reserved
+// for Run; everything else the engine substrate accepts is serviceable.
+func Serviceable(sc *Scenario) error {
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	for idx, ev := range sc.Events {
+		if ev.Kind == NodeCrash || ev.Kind == NodeRecover {
+			return fmt.Errorf("scenario: event %d: %s is not serviceable (crash windows need the differential plan; use the scenario runner)", idx, ev.Kind)
+		}
+	}
+	if len(sc.Encode()) > 1<<12 {
+		return fmt.Errorf("scenario: encoded text exceeds the checkpoint metadata cap")
+	}
+	return nil
+}
+
+// serviceSource derives the run's lazy schedule from the scenario: the
+// same defaults the differential plan uses (activation 0.6, staleness
+// 4), but as a Hashed source — resumable from nothing but the step
+// index, and Fair, so serviced runs stop early once they certify
+// convergence after the last event.
+func serviceSource(sc *Scenario, n int) engine.Hashed {
+	mille := int(sc.ActProb * 1000)
+	if mille == 0 {
+		mille = 600
+	}
+	stale := sc.MaxStaleness
+	if stale == 0 {
+		stale = 4
+	}
+	return engine.Hashed{
+		N: n, T: sc.Horizon, Seed: uint64(sc.Seed),
+		ActivationProbMille: mille, MaxStaleness: stale,
+	}
+}
+
+// NewRunner compiles a serviceable scenario into a fresh preemptible
+// run. The runner owns an engine worker pool; Close it.
+func NewRunner(sc *Scenario) (*Runner, error) {
+	if err := Serviceable(sc); err != nil {
+		return nil, err
+	}
+	r := newShell(sc)
+	var err error
+	if sc.Spec.Gadget != "" {
+		r.core, err = newCore(sc, familySPP, wire.SPPCodec{}, buildGadget, nil)
+	} else {
+		r.core, err = newCore(sc, familyNatInf, wire.NatInfCodec{}, buildTopo, nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ResumeRunner rebuilds a paused run from a checkpoint produced by
+// Checkpoint, possibly in another process: the scenario text is read
+// back from the checkpoint metadata, the instance is rebuilt, every
+// event at or before the snapshot step is replayed onto the fresh
+// topology, and the engine resumes from the snapshot. The continuation
+// is bit-identical to the run that was never paused.
+func ResumeRunner(data []byte) (*Runner, error) {
+	family, meta, err := checkpoint.Header(data)
+	if err != nil {
+		return nil, err
+	}
+	text, ok := meta[metaScenario]
+	if !ok {
+		return nil, fmt.Errorf("scenario: checkpoint has no %s metadata (not a service checkpoint)", metaScenario)
+	}
+	sc, err := Parse([]byte(text))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: embedded scenario: %w", err)
+	}
+	if err := Serviceable(sc); err != nil {
+		return nil, err
+	}
+	r := newShell(sc)
+	switch family {
+	case familySPP:
+		if sc.Spec.Gadget == "" {
+			return nil, fmt.Errorf("scenario: checkpoint family %q but embedded scenario is not a gadget", family)
+		}
+		r.core, err = resumeCore(sc, data, familySPP, wire.SPPCodec{}, buildGadget)
+	case familyNatInf:
+		if sc.Spec.Topo == "" {
+			return nil, fmt.Errorf("scenario: checkpoint family %q but embedded scenario is not a topology", family)
+		}
+		r.core, err = resumeCore(sc, data, familyNatInf, wire.NatInfCodec{}, buildTopo)
+	default:
+		return nil, fmt.Errorf("scenario: unknown checkpoint family %q", family)
+	}
+	if err != nil {
+		return nil, err
+	}
+	r.step, _, _ = r.core.advance(-1) // observe the snapshot position without running
+	return r, nil
+}
+
+func newShell(sc *Scenario) *Runner {
+	r := &Runner{sc: sc, horizon: sc.Horizon, evStep: map[int]bool{}}
+	for _, ev := range sc.Events {
+		r.evStep[ev.Step] = true
+	}
+	return r
+}
+
+// Name returns the scenario's name.
+func (r *Runner) Name() string { return r.sc.Name }
+
+// Scenario returns the compiled scenario (callers must not mutate it).
+func (r *Runner) Scenario() *Scenario { return r.sc }
+
+// Step returns the last completed engine step.
+func (r *Runner) Step() int { return r.step }
+
+// Horizon returns the scenario's step budget.
+func (r *Runner) Horizon() int { return r.horizon }
+
+// Done reports whether the run finished (horizon reached or convergence
+// certified).
+func (r *Runner) Done() bool { return r.done }
+
+// Advance runs one quantum of at most quantum engine steps, pausing in
+// a resumable snapshot (or finishing: a run that certifies convergence
+// or reaches its horizon inside the quantum completes instead). The
+// quantum boundary is bumped past event steps — an event step performs
+// no activation, so there is nothing to capture after it.
+func (r *Runner) Advance(quantum int) (done bool, err error) {
+	if r.done {
+		return true, nil
+	}
+	if quantum < 1 {
+		return false, fmt.Errorf("scenario: quantum %d, want ≥ 1", quantum)
+	}
+	target := r.step + quantum
+	for target < r.horizon && r.evStep[target] {
+		target++
+	}
+	if target >= r.horizon {
+		target = 0 // the rest fits in the quantum: run to completion
+	}
+	step, done, err := r.core.advance(target)
+	if err != nil {
+		return false, err
+	}
+	r.step, r.done = step, done
+	return done, nil
+}
+
+// Checkpoint serialises the paused run as a self-describing checkpoint
+// file. The run must have advanced at least once (a never-started run
+// has no snapshot; re-submit its scenario instead) and must not be
+// done.
+func (r *Runner) Checkpoint() ([]byte, error) {
+	if r.done {
+		return nil, fmt.Errorf("scenario: run is done, nothing to checkpoint")
+	}
+	if r.step == 0 {
+		return nil, fmt.Errorf("scenario: run has not started, checkpoint the scenario text instead")
+	}
+	return r.core.checkpoint()
+}
+
+// Stats returns the run counters (final when Done, the snapshot's
+// otherwise).
+func (r *Runner) Stats() engine.Stats { return r.core.stats() }
+
+// Converged reports certified convergence of a finished run.
+func (r *Runner) Converged() (int, bool) {
+	if !r.done {
+		return -1, false
+	}
+	return r.core.converged()
+}
+
+// FinalHash returns the FNV-64a fingerprint of the finished run's final
+// state cells (codec-encoded, row-major) and the resume-invariant work
+// counters — the cross-process bit-identity witness: equal hashes mean
+// equal tables and equal work.
+func (r *Runner) FinalHash() uint64 {
+	if !r.done {
+		return 0
+	}
+	return r.core.finalHash()
+}
+
+// FinalTable returns the finished run's formatted routing table
+// (instances of ≤ 12 nodes; empty otherwise).
+func (r *Runner) FinalTable() string {
+	if !r.done {
+		return ""
+	}
+	return r.core.finalTable()
+}
+
+// Close releases the engine worker pool. The runner is unusable after.
+func (r *Runner) Close() {
+	if r.core != nil {
+		r.core.close()
+	}
+}
+
+// Checkpoint family tags and metadata keys.
+const (
+	familySPP    = "spp"
+	familyNatInf = "natinf"
+	metaScenario = "scenario"
+	metaName     = "name"
+)
+
+// core is the family-typed implementation behind Runner.
+type svcCore[R any] struct {
+	sc     *Scenario
+	family string
+	codec  wire.Codec[R]
+	inst   *instance[R]
+	eng    *engine.Engine[R]
+	events []engine.TimelineEvent[R]
+	snap   *engine.Snapshot[R]
+	res    *engine.Result[R]
+	src    engine.Hashed
+}
+
+func newCore[R any](sc *Scenario, family string, codec wire.Codec[R],
+	build func(*Scenario) (*instance[R], error), snap *engine.Snapshot[R]) (*svcCore[R], error) {
+	inst, err := build(sc)
+	if err != nil {
+		return nil, err
+	}
+	if snap != nil {
+		// Bring the fresh topology to the snapshot instant: replay the
+		// mutations of every event that already fired. Restarts and the
+		// crash markers mutate no topology (and crash windows are not
+		// serviceable anyway), so replaying through apply is exact.
+		for _, ev := range sc.Events {
+			if ev.Step > snap.Step {
+				break
+			}
+			inst.apply(ev, inst.adj)
+		}
+	}
+	c := &svcCore[R]{
+		sc: sc, family: family, codec: codec, inst: inst,
+		eng:  engine.New(inst.alg, inst.adj, engine.Config{}),
+		snap: snap,
+		src:  serviceSource(sc, inst.n),
+	}
+	c.events = inst.timeline(sc.Events)
+	return c, nil
+}
+
+func resumeCore[R any](sc *Scenario, data []byte, family string, codec wire.Codec[R],
+	build func(*Scenario) (*instance[R], error)) (*svcCore[R], error) {
+	f, err := checkpoint.Decode(codec, data, family)
+	if err != nil {
+		return nil, err
+	}
+	return newCore(sc, family, codec, build, f.Snap)
+}
+
+// remaining returns the compiled events strictly after step.
+func (c *svcCore[R]) remaining(step int) []engine.TimelineEvent[R] {
+	i := 0
+	for i < len(c.events) && c.events[i].Step <= step {
+		i++
+	}
+	return c.events[i:]
+}
+
+func (c *svcCore[R]) advance(target int) (int, bool, error) {
+	if target < 0 { // position probe (ResumeRunner)
+		if c.snap == nil {
+			return 0, false, nil
+		}
+		return c.snap.Step, false, nil
+	}
+	if c.snap == nil {
+		res, snap := c.eng.RunTimelineSnapshot(c.inst.start, c.src, c.events, target, true)
+		c.res, c.snap = res, snap
+	} else {
+		res, snap, err := c.eng.RestoreTimeline(c.snap, c.src, c.remaining(c.snap.Step), target, true)
+		if err != nil {
+			return 0, false, err
+		}
+		c.res, c.snap = res, snap
+	}
+	if c.snap == nil { // finished: certified convergence or horizon
+		return c.res.Stats().Steps, true, nil
+	}
+	return c.snap.Step, false, nil
+}
+
+func (c *svcCore[R]) checkpoint() ([]byte, error) {
+	if c.snap == nil {
+		return nil, fmt.Errorf("scenario: no snapshot to checkpoint")
+	}
+	return checkpoint.Encode(c.codec, &checkpoint.File[R]{
+		Family: c.family,
+		Meta: map[string]string{
+			metaScenario: string(c.sc.Encode()),
+			metaName:     c.sc.Name,
+		},
+		Snap: c.snap,
+	})
+}
+
+func (c *svcCore[R]) finalHash() uint64 {
+	final := c.res.Final()
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(v int) {
+		u := uint64(int64(v))
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(u >> (56 - 8*i))
+		}
+		h.Write(buf[:])
+	}
+	n := c.inst.n
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b, err := c.codec.Encode(final.Get(i, j))
+			if err != nil {
+				// Encode failures are build bugs, not data: fold the error
+				// into the hash so mismatched runs cannot collide on 0.
+				h.Write([]byte(err.Error()))
+				continue
+			}
+			writeInt(len(b))
+			h.Write(b)
+		}
+	}
+	st := c.res.Stats()
+	writeInt(st.Steps)
+	writeInt(st.CellsComputed)
+	writeInt(st.RowsComputed)
+	writeInt(st.ConvergedAt)
+	return h.Sum64()
+}
+
+func (c *svcCore[R]) finalTable() string {
+	if c.inst.n > 12 {
+		return ""
+	}
+	return c.res.Final().Format(c.inst.alg)
+}
+
+func (c *svcCore[R]) stats() engine.Stats {
+	if c.res != nil {
+		return c.res.Stats()
+	}
+	return engine.Stats{}
+}
+
+func (c *svcCore[R]) converged() (int, bool) { return c.res.Converged() }
+
+func (c *svcCore[R]) close() { c.eng.Close() }
+
+// Interface conformance (both families).
+var (
+	_ runnerCore = (*svcCore[gadgets.Route])(nil)
+	_ runnerCore = (*svcCore[algebras.NatInf])(nil)
+)

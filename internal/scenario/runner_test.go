@@ -1,0 +1,207 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// The service-path contract: a Runner advanced in quanta — in one
+// process or checkpointed to bytes and resumed in a rebuilt one — must
+// finish with exactly the final table and work counters of the run that
+// was never paused. FinalHash folds the codec-encoded cells and the
+// resume-invariant counters, so hash equality IS the bit-identity
+// assertion.
+
+const topoRunnerScenario = `scenario flap
+topo ring 8 rip
+seed 5
+horizon 600
+at 40 linkdown 0 1
+at 120 linkup 0 1
+at 200 weight 3 2 3
+at 320 linkdown 4 5
+at 420 linkup 4 5
+at 500 restart 2
+`
+
+const gadgetRunnerScenario = `scenario wedge
+gadget wedgie
+seed 3
+horizon 400
+at 50 linkdown 3 0
+at 150 linkup 3 0
+at 250 rank 3 3 2 1 0
+at 330 restart 1
+`
+
+// uninterrupted runs the scenario to completion in a single quantum and
+// returns its fingerprint, table and step count.
+func uninterrupted(t *testing.T, text string) (uint64, string, int) {
+	t.Helper()
+	sc, err := Parse([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	done, err := r.Advance(sc.Horizon + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("one full-horizon quantum did not finish the run")
+	}
+	return r.FinalHash(), r.FinalTable(), r.Stats().Steps
+}
+
+func TestRunnerSlicedDifferential(t *testing.T) {
+	for _, tc := range []struct {
+		name, text string
+	}{
+		{"topo-rip", topoRunnerScenario},
+		{"gadget-wedgie", gadgetRunnerScenario},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			wantHash, wantTable, wantSteps := uninterrupted(t, tc.text)
+			if wantHash == 0 || wantTable == "" {
+				t.Fatal("uninterrupted run produced no fingerprint")
+			}
+
+			for _, quantum := range []int{13, 37, 111} {
+				// In-process preemption: one runner, advanced in quanta.
+				sc, err := Parse([]byte(tc.text))
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := NewRunner(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				slices := 0
+				for done := false; !done; slices++ {
+					if done, err = r.Advance(quantum); err != nil {
+						t.Fatalf("quantum=%d slice %d: %v", quantum, slices, err)
+					}
+					if slices > sc.Horizon {
+						t.Fatalf("quantum=%d: run never finished", quantum)
+					}
+				}
+				if slices < 2 {
+					t.Fatalf("quantum=%d: run never sliced", quantum)
+				}
+				if got := r.FinalHash(); got != wantHash {
+					t.Fatalf("quantum=%d: sliced hash %x, uninterrupted %x\nsliced table:\n%s\nwant:\n%s",
+						quantum, got, wantHash, r.FinalTable(), wantTable)
+				}
+				if got := r.Stats().Steps; got != wantSteps {
+					t.Fatalf("quantum=%d: sliced run took %d steps, uninterrupted %d", quantum, got, wantSteps)
+				}
+				r.Close()
+
+				// Cross-process preemption: after every quantum the run is
+				// checkpointed to bytes, the runner torn down, and a fresh one
+				// rebuilt from the bytes alone — the drain/restart path.
+				r, err = NewRunner(sc.Clone())
+				if err != nil {
+					t.Fatal(err)
+				}
+				hops := 0
+				for {
+					done, err := r.Advance(quantum)
+					if err != nil {
+						t.Fatalf("quantum=%d hop %d: %v", quantum, hops, err)
+					}
+					if done {
+						break
+					}
+					data, err := r.Checkpoint()
+					if err != nil {
+						t.Fatalf("quantum=%d hop %d: checkpoint: %v", quantum, hops, err)
+					}
+					step := r.Step()
+					r.Close()
+					if r, err = ResumeRunner(data); err != nil {
+						t.Fatalf("quantum=%d hop %d: resume: %v", quantum, hops, err)
+					}
+					if r.Step() != step {
+						t.Fatalf("quantum=%d hop %d: resumed at step %d, checkpointed at %d", quantum, hops, r.Step(), step)
+					}
+					hops++
+				}
+				if hops < 1 {
+					t.Fatalf("quantum=%d: run finished before a single checkpoint hop", quantum)
+				}
+				if got := r.FinalHash(); got != wantHash {
+					t.Fatalf("quantum=%d: resumed hash %x, uninterrupted %x\nresumed table:\n%s\nwant:\n%s",
+						quantum, got, wantHash, r.FinalTable(), wantTable)
+				}
+				if got := r.FinalTable(); got != wantTable {
+					t.Fatalf("quantum=%d: resumed table diverges:\n%s\nwant:\n%s", quantum, got, wantTable)
+				}
+				r.Close()
+			}
+		})
+	}
+}
+
+func TestRunnerCheckpointLifecycleErrors(t *testing.T) {
+	sc, err := Parse([]byte(topoRunnerScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Checkpoint(); err == nil {
+		t.Fatal("checkpoint of a never-started run succeeded")
+	}
+	if _, err := r.Advance(0); err == nil {
+		t.Fatal("zero quantum accepted")
+	}
+	if done, err := r.Advance(25); err != nil || done {
+		t.Fatalf("first quantum: done=%v err=%v", done, err)
+	}
+	data, err := r.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A flipped byte must be caught by the checksum, never resumed.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/2] ^= 0x40
+	if _, err := ResumeRunner(bad); err == nil {
+		t.Fatal("resume accepted a corrupted checkpoint")
+	}
+	if _, err := ResumeRunner([]byte("not a checkpoint")); err == nil {
+		t.Fatal("resume accepted garbage")
+	}
+
+	if done, err := r.Advance(sc.Horizon + 1); err != nil || !done {
+		t.Fatalf("final quantum: done=%v err=%v", done, err)
+	}
+	if _, err := r.Checkpoint(); err == nil {
+		t.Fatal("checkpoint of a finished run succeeded")
+	}
+	if done, err := r.Advance(10); err != nil || !done {
+		t.Fatalf("advance past done: done=%v err=%v", done, err)
+	}
+}
+
+func TestServiceableRejectsCrashTimelines(t *testing.T) {
+	sc, err := Parse([]byte("scenario c\ntopo ring 4 rip\nhorizon 50\nat 10 crash 1\nat 20 recover 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Serviceable(sc)
+	if err == nil || !strings.Contains(err.Error(), "not serviceable") {
+		t.Fatalf("crash timeline accepted by Serviceable: %v", err)
+	}
+	if _, err := NewRunner(sc); err == nil {
+		t.Fatal("NewRunner accepted a crash timeline")
+	}
+}

@@ -1,0 +1,391 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Service protocol frames: the request/response/stream vocabulary of the
+// dbfsimd simulation service. A client submits a scenario under a tenant
+// name, receives streamed Status frames while the run is queued, running
+// and preempted, and finally a Result (or an ErrorFrame). Every frame is
+// one length-prefixed transport message; this file only defines the
+// payload bytes.
+//
+// Layout (big-endian): u8 kind, then the frame's fields — strings as
+// u16 length + bytes, blobs as u32 length + bytes, integers fixed-width.
+// Every decode is bounds-checked against hard caps, so a hostile peer
+// gets a clean error, never a panic or an unbounded allocation.
+
+// FrameKind tags a service frame.
+type FrameKind uint8
+
+const (
+	// FrameSubmit (client → server) requests a scenario run.
+	FrameSubmit FrameKind = 1
+	// FrameWait (client → server) re-subscribes to a run's outcome, e.g.
+	// after a reconnect or a daemon restart.
+	FrameWait FrameKind = 2
+	// FrameStatus (server → client, streamed) reports run progress.
+	FrameStatus FrameKind = 3
+	// FrameResult (server → client, terminal) reports a finished run.
+	FrameResult FrameKind = 4
+	// FrameError (server → client, terminal) reports a failed or shed
+	// request; retriable codes carry a retry-after hint.
+	FrameError FrameKind = 5
+)
+
+// ErrorCode classifies an ErrorFrame.
+type ErrorCode uint8
+
+const (
+	// CodeBadRequest: the request itself is malformed (unparseable or
+	// unserviceable scenario, bad tenant/id). Not retriable.
+	CodeBadRequest ErrorCode = 1
+	// CodeOverloaded: the tenant's admission quota (queue depth or
+	// in-flight cap) is exhausted. Retriable after RetryAfterMS.
+	CodeOverloaded ErrorCode = 2
+	// CodeDraining: the server is shutting down; in-flight runs are being
+	// checkpointed. Retriable against the restarted server.
+	CodeDraining ErrorCode = 3
+	// CodeDeadline: the run exceeded its submitted deadline and was
+	// cancelled. Not retriable (resubmit with a larger deadline).
+	CodeDeadline ErrorCode = 4
+	// CodeUnknownRun: Wait named a run the server has no record of.
+	CodeUnknownRun ErrorCode = 5
+	// CodeInternal: the run failed inside the engine. Not retriable.
+	CodeInternal ErrorCode = 6
+)
+
+// Retriable reports whether the same request can simply be resent after
+// the hinted delay — the load-shedding codes, where the request was
+// refused without being looked at, not failed.
+func (c ErrorCode) Retriable() bool {
+	return c == CodeOverloaded || c == CodeDraining
+}
+
+// String renders the code for logs and error text.
+func (c ErrorCode) String() string {
+	switch c {
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeOverloaded:
+		return "overloaded"
+	case CodeDraining:
+		return "draining"
+	case CodeDeadline:
+		return "deadline"
+	case CodeUnknownRun:
+		return "unknown-run"
+	case CodeInternal:
+		return "internal"
+	}
+	return fmt.Sprintf("code(%d)", uint8(c))
+}
+
+// RunPhase is the lifecycle position a Status frame reports.
+type RunPhase uint8
+
+const (
+	// PhaseQueued: admitted, waiting for a worker slot.
+	PhaseQueued RunPhase = 1
+	// PhaseRunning: a worker is advancing the run.
+	PhaseRunning RunPhase = 2
+	// PhasePreempted: paused in a snapshot so another tenant's run can
+	// use the slot; will be rescheduled.
+	PhasePreempted RunPhase = 3
+	// PhaseResumed: restored from a drain checkpoint after a restart.
+	PhaseResumed RunPhase = 4
+)
+
+// String renders the phase for logs and status lines.
+func (p RunPhase) String() string {
+	switch p {
+	case PhaseQueued:
+		return "queued"
+	case PhaseRunning:
+		return "running"
+	case PhasePreempted:
+		return "preempted"
+	case PhaseResumed:
+		return "resumed"
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// Frame caps. Names and ids are short tokens; the scenario blob is
+// bounded by the scenario package's own file cap; tables are a few KiB
+// of rendered text.
+const (
+	maxNameLen     = 128
+	maxMsgLen      = 1 << 10
+	maxScenarioLen = 1 << 16
+	maxTableLen    = 1 << 16
+)
+
+// Frame is one service protocol frame.
+type Frame interface {
+	// Kind tags the frame on the wire.
+	Kind() FrameKind
+	appendTo(out []byte) ([]byte, error)
+}
+
+// Submit requests a run of Scenario (scenario text format) under
+// Tenant. ID is the client-chosen run identifier, unique per tenant;
+// DeadlineMS, when > 0, is a wall-clock budget after admission — a run
+// that has not finished DeadlineMS after submission is cancelled with
+// CodeDeadline.
+type Submit struct {
+	Tenant, ID string
+	DeadlineMS int64
+	Scenario   []byte
+}
+
+// Wait re-subscribes to the outcome of tenant/id: the server replies
+// with the stored Result if the run already finished, streams Status
+// frames if it is still in flight, or returns CodeUnknownRun.
+type Wait struct {
+	Tenant, ID string
+}
+
+// Status reports progress: the run's lifecycle phase, the last
+// completed engine step against its horizon, and the work counter — the
+// convergence-stats stream that keeps a throttled client informed
+// rather than timing out blind.
+type Status struct {
+	ID            string
+	Phase         RunPhase
+	Step, Horizon int64
+	CellsComputed int64
+}
+
+// Result reports a finished run: the certified convergence step (−1 if
+// the horizon was reached without certification), the work counters,
+// the FNV-64a fingerprint of the final table (the bit-identity witness
+// resume tests compare), and the rendered table for small instances.
+type Result struct {
+	ID            string
+	Steps         int64
+	ConvergedAt   int64
+	CellsComputed int64
+	Hash          uint64
+	Table         string
+}
+
+// ErrorFrame reports a refused or failed request. RetryAfterMS is a
+// backoff hint, meaningful when Code.Retriable().
+type ErrorFrame struct {
+	ID           string
+	Code         ErrorCode
+	RetryAfterMS int64
+	Msg          string
+}
+
+func (Submit) Kind() FrameKind     { return FrameSubmit }
+func (Wait) Kind() FrameKind       { return FrameWait }
+func (Status) Kind() FrameKind     { return FrameStatus }
+func (Result) Kind() FrameKind     { return FrameResult }
+func (ErrorFrame) Kind() FrameKind { return FrameError }
+
+// Error makes an ErrorFrame usable as a Go error on the client side.
+func (e ErrorFrame) Error() string {
+	if e.RetryAfterMS > 0 {
+		return fmt.Sprintf("wire: %s: %s (retry after %dms)", e.Code, e.Msg, e.RetryAfterMS)
+	}
+	return fmt.Sprintf("wire: %s: %s", e.Code, e.Msg)
+}
+
+// EncodeFrame renders a frame, enforcing the same caps Decode does so a
+// frame that encodes always decodes.
+func EncodeFrame(f Frame) ([]byte, error) {
+	return f.appendTo([]byte{byte(f.Kind())})
+}
+
+func (s Submit) appendTo(out []byte) ([]byte, error) {
+	if err := checkName("tenant", s.Tenant); err != nil {
+		return nil, err
+	}
+	if err := checkName("id", s.ID); err != nil {
+		return nil, err
+	}
+	if len(s.Scenario) > maxScenarioLen {
+		return nil, fmt.Errorf("wire: %d-byte scenario exceeds %d", len(s.Scenario), maxScenarioLen)
+	}
+	out = appendName(out, s.Tenant)
+	out = appendName(out, s.ID)
+	out = binary.BigEndian.AppendUint64(out, uint64(s.DeadlineMS))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(s.Scenario)))
+	return append(out, s.Scenario...), nil
+}
+
+func (w Wait) appendTo(out []byte) ([]byte, error) {
+	if err := checkName("tenant", w.Tenant); err != nil {
+		return nil, err
+	}
+	if err := checkName("id", w.ID); err != nil {
+		return nil, err
+	}
+	out = appendName(out, w.Tenant)
+	return appendName(out, w.ID), nil
+}
+
+func (s Status) appendTo(out []byte) ([]byte, error) {
+	if err := checkName("id", s.ID); err != nil {
+		return nil, err
+	}
+	out = appendName(out, s.ID)
+	out = append(out, byte(s.Phase))
+	out = binary.BigEndian.AppendUint64(out, uint64(s.Step))
+	out = binary.BigEndian.AppendUint64(out, uint64(s.Horizon))
+	return binary.BigEndian.AppendUint64(out, uint64(s.CellsComputed)), nil
+}
+
+func (r Result) appendTo(out []byte) ([]byte, error) {
+	if err := checkName("id", r.ID); err != nil {
+		return nil, err
+	}
+	if len(r.Table) > maxTableLen {
+		return nil, fmt.Errorf("wire: %d-byte table exceeds %d", len(r.Table), maxTableLen)
+	}
+	out = appendName(out, r.ID)
+	out = binary.BigEndian.AppendUint64(out, uint64(r.Steps))
+	out = binary.BigEndian.AppendUint64(out, uint64(r.ConvergedAt))
+	out = binary.BigEndian.AppendUint64(out, uint64(r.CellsComputed))
+	out = binary.BigEndian.AppendUint64(out, r.Hash)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(r.Table)))
+	return append(out, r.Table...), nil
+}
+
+func (e ErrorFrame) appendTo(out []byte) ([]byte, error) {
+	// The id may be empty: admission errors can predate a parsed id.
+	if len(e.ID) > maxNameLen {
+		return nil, fmt.Errorf("wire: id too long")
+	}
+	if len(e.Msg) > maxMsgLen {
+		e.Msg = e.Msg[:maxMsgLen]
+	}
+	out = appendName(out, e.ID)
+	out = append(out, byte(e.Code))
+	out = binary.BigEndian.AppendUint64(out, uint64(e.RetryAfterMS))
+	out = appendName(out, e.Msg)
+	return out, nil
+}
+
+// DecodeFrame parses one frame. Unknown kinds and over-cap lengths are
+// clean errors.
+func DecodeFrame(data []byte) (Frame, error) {
+	if len(data) < 1 {
+		return nil, ErrTruncated
+	}
+	d := &frameCursor{b: data[1:]}
+	var f Frame
+	switch FrameKind(data[0]) {
+	case FrameSubmit:
+		s := Submit{Tenant: d.str(maxNameLen), ID: d.str(maxNameLen), DeadlineMS: d.i64()}
+		s.Scenario = d.blob(maxScenarioLen)
+		f = s
+	case FrameWait:
+		f = Wait{Tenant: d.str(maxNameLen), ID: d.str(maxNameLen)}
+	case FrameStatus:
+		f = Status{ID: d.str(maxNameLen), Phase: RunPhase(d.u8()),
+			Step: d.i64(), Horizon: d.i64(), CellsComputed: d.i64()}
+	case FrameResult:
+		r := Result{ID: d.str(maxNameLen), Steps: d.i64(), ConvergedAt: d.i64(),
+			CellsComputed: d.i64(), Hash: d.u64()}
+		r.Table = string(d.blob(maxTableLen))
+		f = r
+	case FrameError:
+		f = ErrorFrame{ID: d.str(maxNameLen), Code: ErrorCode(d.u8()),
+			RetryAfterMS: d.i64(), Msg: d.str(maxMsgLen)}
+	default:
+		return nil, fmt.Errorf("wire: unknown frame kind %d", data[0])
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %v frame", len(d.b), FrameKind(data[0]))
+	}
+	return f, nil
+}
+
+func checkName(what, s string) error {
+	if len(s) > maxNameLen {
+		return fmt.Errorf("wire: %s of %d bytes exceeds %d", what, len(s), maxNameLen)
+	}
+	return nil
+}
+
+func appendName(out []byte, s string) []byte {
+	out = binary.BigEndian.AppendUint16(out, uint16(len(s)))
+	return append(out, s...)
+}
+
+// frameCursor is a bounds-checked reader; the first failed read sticks
+// in err and every later read is a no-op.
+type frameCursor struct {
+	b   []byte
+	err error
+}
+
+func (c *frameCursor) fail() {
+	if c.err == nil {
+		c.err = errors.New("wire: truncated or over-cap frame field")
+	}
+}
+
+func (c *frameCursor) u8() byte {
+	if c.err != nil || len(c.b) < 1 {
+		c.fail()
+		return 0
+	}
+	v := c.b[0]
+	c.b = c.b[1:]
+	return v
+}
+
+func (c *frameCursor) u64() uint64 {
+	if c.err != nil || len(c.b) < 8 {
+		c.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(c.b)
+	c.b = c.b[8:]
+	return v
+}
+
+func (c *frameCursor) i64() int64 { return int64(c.u64()) }
+
+func (c *frameCursor) str(max int) string {
+	if c.err != nil || len(c.b) < 2 {
+		c.fail()
+		return ""
+	}
+	l := int(binary.BigEndian.Uint16(c.b))
+	c.b = c.b[2:]
+	if l > max || l > len(c.b) {
+		c.fail()
+		return ""
+	}
+	v := string(c.b[:l])
+	c.b = c.b[l:]
+	return v
+}
+
+func (c *frameCursor) blob(max int) []byte {
+	if c.err != nil || len(c.b) < 4 {
+		c.fail()
+		return nil
+	}
+	l := int(binary.BigEndian.Uint32(c.b))
+	c.b = c.b[4:]
+	if l > max || l > len(c.b) {
+		c.fail()
+		return nil
+	}
+	v := make([]byte, l)
+	copy(v, c.b[:l])
+	c.b = c.b[l:]
+	return v
+}
