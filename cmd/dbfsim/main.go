@@ -104,8 +104,11 @@ func realMain() int {
 			"optional completion deadline for -server submissions (0 = none)")
 		resumeFile = flag.String("resume", "",
 			"resume a checkpointed delta run to its horizon; the instance is rebuilt from the checkpoint's metadata and all other instance flags are ignored")
+		jsonFlag = flag.Bool("stats-json", false,
+			"emit the final run statistics (or scenario watchdog verdicts) as a single JSON object on stdout, suppressing the human-readable report")
 	)
 	flag.Parse()
+	statsJSON = *jsonFlag
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -177,7 +180,7 @@ func realMain() int {
 		*internFlag = meta["intern"] != "false"
 		*colFlag = meta["columnar"] != "false"
 		resumeData = data
-		fmt.Printf("resuming %s checkpoint %s (algebra %s, topo %s, n %d, seed %d)\n",
+		infof("resuming %s checkpoint %s (algebra %s, topo %s, n %d, seed %d)\n",
 			family, *resumeFile, *algebra, *topo, *n, *seed)
 	}
 
@@ -282,7 +285,7 @@ func realMain() int {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
-		fmt.Printf("policy on every edge: %s\n", pol)
+		infof("policy on every edge: %s\n", pol)
 		if interning {
 			alg := policy.NewInterned(nil)
 			adj := topology.Build[policy.IRoute](g, func(i, j int) core.Edge[policy.IRoute] {
@@ -343,7 +346,11 @@ func runScenario(path, substrate string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	fmt.Print(rep)
+	if statsJSON {
+		emitJSON(scenarioJSON(rep))
+	} else {
+		fmt.Print(rep)
+	}
 	code := 0
 	for _, sr := range rep.Substrates {
 		if sr.Class.Verdict != scenario.VerdictConverged {
@@ -353,7 +360,7 @@ func runScenario(path, substrate string) int {
 			fmt.Fprintln(os.Stderr, "engine run disagreed with the segment-wise reference evaluation")
 			code = 1
 		}
-		if len(rep.Substrates) <= 2 && sr.FinalTable != "" {
+		if !statsJSON && len(rep.Substrates) <= 2 && sr.FinalTable != "" {
 			fmt.Printf("%s final tables:\n%s", sr.Substrate, sr.FinalTable)
 		}
 	}
@@ -433,8 +440,23 @@ func run[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], start *matrix.Sta
 		runDelta[R](alg, adj, start, seed, family, codec)
 	default:
 		out := simulate.RunTraced[R](alg, adj, start, cfg, nil, nil, recorder)
-		fmt.Println(out.Describe())
-		report[R](alg, adj, out.Final)
+		if statsJSON {
+			convAt := out.ConvergedAt
+			if !out.Converged {
+				convAt = -1
+			}
+			emitJSON(simStatsJSON{
+				Mode: "sim", EndTime: out.EndTime,
+				Sent: out.Stats.Sent, Delivered: out.Stats.Delivered,
+				Dropped: out.Stats.Dropped, Duplicated: out.Stats.Duplicated,
+				Activations: out.Stats.Activations,
+				Converged:   out.Converged, ConvergedAt: convAt,
+				Stable: matrix.IsStable[R](alg, adj, out.Final),
+			})
+		} else {
+			fmt.Println(out.Describe())
+			report[R](alg, adj, out.Final)
+		}
 		if !out.Converged {
 			exitCode = 1
 		}
@@ -486,7 +508,7 @@ func runDelta[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], start *matri
 			exitCode = 2
 			return
 		}
-		fmt.Printf("restored at step %d, continuing to T=%d\n", f.Snap.Step, T)
+		infof("restored at step %d, continuing to T=%d\n", f.Snap.Step, T)
 		res = r
 	case ckptPath != "":
 		at := ckptAtStep
@@ -503,7 +525,7 @@ func runDelta[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], start *matri
 		}
 		r, snap := eng.RunSnapshot(start, src, at, true)
 		if snap == nil {
-			fmt.Printf("run certified convergence at t=%d, before checkpoint step %d; nothing to resume, no checkpoint written\n",
+			infof("run certified convergence at t=%d, before checkpoint step %d; nothing to resume, no checkpoint written\n",
 				mustConvergedAt(r), at)
 			res = r
 			break
@@ -520,7 +542,7 @@ func runDelta[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], start *matri
 			exitCode = 2
 			return
 		}
-		fmt.Printf("checkpoint written to %s at step %d of %d (%d bytes); resume with -resume %s\n",
+		infof("checkpoint written to %s at step %d of %d (%d bytes); resume with -resume %s\n",
 			ckptPath, at, T, len(data), ckptPath)
 		// The halted prefix is not a finished run: skip the stability
 		// report (and its exit-code gate) — the resuming process owns it.
@@ -529,6 +551,15 @@ func runDelta[R any](alg core.Algebra[R], adj *matrix.Adjacency[R], start *matri
 		res = eng.Run(start, src)
 	}
 	st := res.Stats()
+	if statsJSON {
+		convAt, conv := res.Converged()
+		stable := matrix.IsStable[R](alg, adj, res.Final())
+		emitJSON(deltaJSON(st, T, convAt, conv, stable))
+		if !stable {
+			exitCode = 1
+		}
+		return
+	}
 	fmt.Printf("δ engine: T=%d of %d, rows computed=%d, rows skipped=%d, cells computed=%d\n",
 		st.Steps, T, st.RowsComputed, st.RowsSkipped, st.CellsComputed)
 	fmt.Printf("          row buffers recycled=%d, states retained=%d\n", st.RowsRecycled, st.Retained)

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/engine"
+	"repro/internal/scenario"
+)
+
+// -stats-json: machine-readable output. One JSON object on stdout per
+// invocation, nothing else — the human-readable report moves aside so a
+// pipeline can `dbfsim ... -stats-json | jq .cells_computed` without
+// scraping prose.
+
+// statsJSON mirrors the -stats-json flag for the run paths.
+var statsJSON bool
+
+// deltaStatsJSON is the -mode delta (and resumed-run) output shape.
+type deltaStatsJSON struct {
+	Mode          string `json:"mode"`
+	Steps         int    `json:"steps"`
+	Horizon       int    `json:"horizon"`
+	RowsComputed  int    `json:"rows_computed"`
+	RowsSkipped   int    `json:"rows_skipped"`
+	CellsComputed int    `json:"cells_computed"`
+	RowsRecycled  int    `json:"rows_recycled"`
+	Retained      int    `json:"retained"`
+	Converged     bool   `json:"converged"`
+	ConvergedAt   int    `json:"converged_at"` // -1 when not certified
+	Stable        bool   `json:"stable"`
+}
+
+// simStatsJSON is the -mode sim output shape.
+type simStatsJSON struct {
+	Mode        string `json:"mode"`
+	EndTime     int64  `json:"end_time"`
+	Sent        int    `json:"sent"`
+	Delivered   int    `json:"delivered"`
+	Dropped     int    `json:"dropped"`
+	Duplicated  int    `json:"duplicated"`
+	Activations int    `json:"activations"`
+	Converged   bool   `json:"converged"`
+	ConvergedAt int64  `json:"converged_at"` // -1 when not converged
+	Stable      bool   `json:"stable"`
+}
+
+// scenarioStatsJSON is the -scenario output shape: the watchdog verdict
+// of every substrate played.
+type scenarioStatsJSON struct {
+	Mode       string                 `json:"mode"`
+	Scenario   string                 `json:"scenario"`
+	Events     int                    `json:"events"`
+	Horizon    int                    `json:"horizon"`
+	Substrates []substrateVerdictJSON `json:"substrates"`
+}
+
+type substrateVerdictJSON struct {
+	Substrate   string `json:"substrate"`
+	Verdict     string `json:"verdict"`
+	Converged   bool   `json:"converged"`
+	Stable      bool   `json:"stable"`
+	ReferenceOK *bool  `json:"reference_ok,omitempty"` // engine only
+	Period      int    `json:"period,omitempty"`       // oscillating only
+	Rounds      int    `json:"rounds"`
+	Detail      string `json:"detail"`
+}
+
+// infof prints an informational progress line — to stdout normally, to
+// stderr under -stats-json so stdout stays exactly one JSON object.
+func infof(format string, args ...any) {
+	w := os.Stdout
+	if statsJSON {
+		w = os.Stderr
+	}
+	fmt.Fprintf(w, format, args...)
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exitCode = 2
+	}
+}
+
+func deltaJSON(st engine.Stats, horizon int, convergedAt int, converged, stable bool) deltaStatsJSON {
+	if !converged {
+		convergedAt = -1
+	}
+	return deltaStatsJSON{
+		Mode: "delta", Steps: st.Steps, Horizon: horizon,
+		RowsComputed: st.RowsComputed, RowsSkipped: st.RowsSkipped,
+		CellsComputed: st.CellsComputed, RowsRecycled: st.RowsRecycled,
+		Retained:  st.Retained,
+		Converged: converged, ConvergedAt: convergedAt, Stable: stable,
+	}
+}
+
+func scenarioJSON(rep *scenario.Report) scenarioStatsJSON {
+	out := scenarioStatsJSON{
+		Mode: "scenario", Scenario: rep.Scenario.Name,
+		Events: len(rep.Scenario.Events), Horizon: rep.Scenario.Horizon,
+	}
+	for _, sr := range rep.Substrates {
+		v := substrateVerdictJSON{
+			Substrate: sr.Substrate, Verdict: sr.Class.Verdict.String(),
+			Converged: sr.Converged, Stable: sr.Stable,
+			Period: sr.Class.Period, Rounds: sr.Class.Rounds, Detail: sr.Class.Detail,
+		}
+		if sr.Substrate == scenario.SubEngine {
+			ok := sr.ReferenceOK
+			v.ReferenceOK = &ok
+		}
+		out.Substrates = append(out.Substrates, v)
+	}
+	return out
+}

@@ -12,6 +12,11 @@
 //
 // Submit runs with `dbfsim -server 127.0.0.1:7117 -scenario f.scenario`
 // or drive sustained load with the loadgen command.
+//
+// With -admin set, a second loopback HTTP listener serves the
+// observability surface: GET /metrics (Prometheus text), /healthz
+// (drain-aware), /runs (JSON table with per-run span logs) and the
+// net/http/pprof profiler endpoints.
 package main
 
 import (
@@ -19,11 +24,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/server"
 )
 
@@ -42,6 +50,7 @@ func realMain() int {
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain may take before giving up")
 		stall    = flag.Duration("stall", 0, "fault injection: sleep this long after every quantum (holds runs mid-flight for kill/restart drills)")
 		quiet    = flag.Bool("quiet", false, "suppress per-event logging")
+		admin    = flag.String("admin", "", "admin HTTP address for /metrics, /healthz, /runs and pprof (empty disables)")
 	)
 	flag.Parse()
 
@@ -67,6 +76,21 @@ func realMain() int {
 	// The bound address goes to stdout so scripts (and the CI smoke job)
 	// can scrape it even with :0.
 	fmt.Printf("dbfsimd: listening on %s\n", s.Addr())
+
+	if *admin != "" {
+		// Engine-level counters ride the same registry the admin page
+		// exposes; the observer is one atomic load per completed run.
+		server.ObserveEngineRuns(metrics.Default)
+		aln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dbfsimd: admin listen: %v\n", err)
+			return 1
+		}
+		asrv := &http.Server{Handler: s.AdminHandler()}
+		go asrv.Serve(aln)
+		defer asrv.Close()
+		fmt.Printf("dbfsimd: admin on %s\n", aln.Addr())
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)

@@ -446,6 +446,7 @@ func (nw *Network[R]) Run(ctx context.Context) Outcome[R] {
 		for _, st := range sr.Stats() {
 			stats.QueueDrops += st.Dropped
 		}
+		mRunQueueDrops.Add(float64(stats.QueueDrops))
 	}
 	class := ClassConverged
 	switch {

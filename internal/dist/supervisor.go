@@ -125,6 +125,7 @@ func (nw *Network[R]) RecoverNode(i int) {
 	nw.changed = time.Now()
 	nw.mu.Unlock()
 	nw.runStats.restarts.Add(1)
+	mRecoveries.Inc()
 	nw.spawn(ctx, i)
 }
 
@@ -192,6 +193,8 @@ func (nw *Network[R]) detectFailures(ctx context.Context) {
 			continue
 		}
 		nw.runStats.crashes.Add(1)
+		mHeartbeatMisses.Inc()
+		mCrashes.Inc()
 		// Tear the stale router down (idempotent if it is already dead);
 		// a truly wedged goroutine is abandoned after a grace period
 		// rather than wedging the supervisor with it.
@@ -230,6 +233,7 @@ func (nw *Network[R]) send(msg transport.Message) {
 		nw.retryMu.Unlock()
 		time.Sleep(backoff/2 + jitter)
 		nw.runStats.sendRetries.Add(1)
+		mSendRetries.Inc()
 		err = nw.tr.Send(msg)
 	}
 }

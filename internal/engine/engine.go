@@ -1225,6 +1225,12 @@ func runLoop[R, Row any](e *Engine[R], ops rowOps[R, Row], start *matrix.State[R
 		}
 	}
 	res := &Result[R]{alg: e.alg, horizon: steps, final: ops.materialise(prev), stats: r.stats, marks: marks}
+	// A snapshot-halt is a preemption, not a completion: the run will
+	// resume from the snapshot with these Stats as its starting point, so
+	// observing here would double-count. Every other exit is final.
+	if !(sp != nil && sp.halt && sp.snap != nil) {
+		observeRun(r.stats)
+	}
 	if window < 0 {
 		ops.retain(res, r.all)
 	}

@@ -1,0 +1,182 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The exposition golden test: a small registry with every metric kind
+// must render the exact Prometheus text-format page, deterministically —
+// families in name order, series in label order, histogram buckets
+// cumulative with the implicit +Inf.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests served.")
+	c.Add(3)
+	g := r.Gauge("queue_depth", "Queued runs.")
+	g.Set(2)
+	g.Dec()
+	v := r.CounterVec("sheds_total", "Shed submissions.", "reason")
+	v.With("overloaded").Add(5)
+	v.With("draining").Inc()
+	h := r.Histogram("quantum_seconds", "Quantum wall-clock.", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(3)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP quantum_seconds Quantum wall-clock.
+# TYPE quantum_seconds histogram
+quantum_seconds_bucket{le="0.001"} 2
+quantum_seconds_bucket{le="0.01"} 2
+quantum_seconds_bucket{le="0.1"} 3
+quantum_seconds_bucket{le="+Inf"} 4
+quantum_seconds_sum 3.051
+quantum_seconds_count 4
+# HELP queue_depth Queued runs.
+# TYPE queue_depth gauge
+queue_depth 1
+# HELP requests_total Requests served.
+# TYPE requests_total counter
+requests_total 3
+# HELP sheds_total Shed submissions.
+# TYPE sheds_total counter
+sheds_total{reason="draining"} 1
+sheds_total{reason="overloaded"} 5
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// Histogram observations must land exactly by the le ≤ bound contract:
+// a value equal to an upper bound belongs to that bucket, the first
+// value above the last bound goes to +Inf only.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 4, 4.5, 100} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	for key, want := range map[string]float64{
+		`h_bucket{le="1"}`:    2, // 0.5, 1
+		`h_bucket{le="2"}`:    4, // + 1.0000001, 2
+		`h_bucket{le="4"}`:    5, // + 4
+		`h_bucket{le="+Inf"}`: 7, // + 4.5, 100
+		"h_count":             7,
+	} {
+		if got := snap[key]; got != want {
+			t.Errorf("%s = %v, want %v", key, got, want)
+		}
+	}
+	if got, want := h.Sum(), 0.5+1+1.0000001+2+4+4.5+100; got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+}
+
+// Concurrent increments across every kind must be lossless — this is
+// the test the CI -race job leans on.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	v := r.CounterVec("v", "", "worker")
+	h := r.Histogram("h", "", DurationBuckets())
+
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Resolve the labeled child inside the goroutine: With must be
+			// safe concurrently and always return the same series.
+			mine := v.With(fmt.Sprintf("w%d", w%2))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				mine.Inc()
+				h.Observe(0.001)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %v, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0", got)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	snap := r.Snapshot()
+	if got := snap[`v{worker="w0"}`] + snap[`v{worker="w1"}`]; got != workers*perWorker {
+		t.Errorf("vec total = %v, want %d", got, workers*perWorker)
+	}
+}
+
+// Registration is idempotent for an identical shape and panics on a
+// conflicting one — silent double registration would split series.
+func TestRegistrationIdempotentAndShapeChecked(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "")
+	b := r.Counter("x_total", "")
+	a.Inc()
+	b.Inc()
+	if got := a.Value(); got != 2 {
+		t.Fatalf("re-registered counter split: %v, want 2", got)
+	}
+	mustPanic(t, "kind conflict", func() { r.Gauge("x_total", "") })
+	mustPanic(t, "label-arity conflict", func() { r.CounterVec("x_total", "", "tenant") })
+	mustPanic(t, "bad name", func() { r.Counter("bad name", "") })
+	mustPanic(t, "descending buckets", func() { r.Histogram("hh", "", []float64{2, 1}) })
+	mustPanic(t, "label-count mismatch", func() { r.CounterVec("y_total", "", "a", "b").With("only-one") })
+}
+
+// Label values with quotes, backslashes and newlines must be escaped in
+// the exposition page.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("e_total", "", "v").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := `e_total{v="a\"b\\c\nd"} 1`; !strings.Contains(b.String(), want) {
+		t.Fatalf("escaped series %q not found in:\n%s", want, b.String())
+	}
+}
+
+// Counters must drop negative deltas rather than go backwards.
+func TestCounterMonotone(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("m_total", "")
+	c.Add(5)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter moved backwards: %v", got)
+	}
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	f()
+}

@@ -28,7 +28,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -36,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/scenario"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -97,6 +97,10 @@ type Config struct {
 	// discards).
 	Logf func(format string, args ...any)
 
+	// Metrics is the registry the server instruments; default
+	// metrics.Default. Tests pass a private registry for isolation.
+	Metrics *metrics.Registry
+
 	// Stall, when set, sleeps after every quantum — a fault-injection
 	// knob. Engine quanta on the scenario sizes the caps admit complete
 	// in microseconds, far below wall-clock observability; the lifecycle
@@ -126,6 +130,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.Default
 	}
 	return c
 }
@@ -161,21 +168,30 @@ type run struct {
 	step  int
 	cells int64
 	subs  []*clientConn
+	// Span log: lifecycle events since born, appended and read under the
+	// server lock (see trace.go).
+	born         time.Time
+	trace        []spanEvent // head: admission and early quanta
+	traceTail    []spanEvent // rolling window of the most recent events
+	traceDropped int
+	quanta       int // quanta executed so far, for span labels
 }
 
 // Server is the dbfsimd daemon core.
 type Server struct {
 	cfg Config
 	ln  *transport.Listener
+	met *srvMetrics
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	tenants map[string]*tenant
-	runs    map[string]*run
-	results map[string]wire.Result
-	order   []string // results eviction order
-	vclock  float64  // virtual time of the most recent scheduling decision
-	conns   map[*clientConn]struct{}
+	mu       sync.Mutex
+	cond     *sync.Cond
+	tenants  map[string]*tenant
+	runs     map[string]*run
+	results  map[string]wire.Result
+	order    []string // results eviction order
+	vclock   float64  // virtual time of the most recent scheduling decision
+	conns    map[*clientConn]struct{}
+	finished []finishedRun // bounded ring of completed runs for /runs
 
 	draining bool
 	closed   bool
@@ -197,6 +213,7 @@ func New(cfg Config) (*Server, error) {
 		conns:   make(map[*clientConn]struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.met = newSrvMetrics(cfg.Metrics)
 	if cfg.SpoolDir != "" {
 		if err := s.recoverSpool(); err != nil {
 			return nil, err
@@ -248,6 +265,7 @@ func (s *Server) enqueueLocked(r *run) {
 		t.vtime = s.vclock
 	}
 	t.queued = append(t.queued, r)
+	s.met.queueDepth.Inc()
 	s.cond.Signal()
 }
 
@@ -274,6 +292,10 @@ func (s *Server) nextLocked() *run {
 			best.queued = best.queued[1:]
 			s.vclock = best.vtime
 			r.running = true
+			r.quanta++
+			r.phase = wire.PhaseRunning
+			r.spanLocked("scheduled quantum %d (vtime %.1f)", r.quanta, best.vtime)
+			s.met.queueDepth.Dec()
 			return r
 		}
 		s.cond.Wait()
@@ -316,10 +338,12 @@ func (s *Server) advance(r *run) {
 		}
 	}
 	before := r.runner.Step()
+	qStart := time.Now()
 	done, err := r.runner.Advance(s.cfg.Quantum)
 	if s.cfg.Stall > 0 {
 		time.Sleep(s.cfg.Stall)
 	}
+	s.met.quantumSec.Observe(time.Since(qStart).Seconds())
 	if err != nil {
 		s.finish(r, nil, &wire.ErrorFrame{ID: r.id, Code: wire.CodeInternal, Msg: err.Error()})
 		return
@@ -334,6 +358,9 @@ func (s *Server) advance(r *run) {
 		st := r.runner.Stats()
 		s.mu.Lock()
 		r.tenant.vtime += float64(st.Steps-before) / float64(r.tenant.quota.Weight)
+		s.met.vtimeLag.With(r.tenant.name).Set(r.tenant.vtime - s.vclock)
+		r.step = st.Steps
+		r.cells = int64(st.CellsComputed)
 		s.mu.Unlock()
 		res := wire.Result{
 			ID: r.id, Steps: int64(st.Steps), ConvergedAt: int64(convergedAt),
@@ -346,10 +373,13 @@ func (s *Server) advance(r *run) {
 
 	s.mu.Lock()
 	r.tenant.vtime += float64(steps) / float64(r.tenant.quota.Weight)
+	s.met.vtimeLag.With(r.tenant.name).Set(r.tenant.vtime - s.vclock)
 	r.running = false
 	r.phase = wire.PhasePreempted
 	r.step = r.runner.Step()
 	r.cells = int64(r.runner.Stats().CellsComputed)
+	r.spanLocked("quantum %d: steps %d→%d (cells %d), preempted", r.quanta, before, r.step, r.cells)
+	s.met.preemptions.Inc()
 	status := s.statusLocked(r)
 	s.enqueueLocked(r)
 	subs := append([]*clientConn(nil), r.subs...)
@@ -380,6 +410,7 @@ func (s *Server) statusLocked(r *run) wire.Status {
 		ID: r.id, Phase: phase,
 		Step: int64(r.step), Horizon: int64(r.sc.Horizon),
 		CellsComputed: r.cells,
+		Trace:         r.renderTraceLocked(),
 	}
 }
 
@@ -395,10 +426,21 @@ func (s *Server) finish(r *run, res *wire.Result, ef *wire.ErrorFrame) {
 	r.running = false
 	r.finished = true
 	r.tenant.inflight--
-	delete(s.runs, r.key)
+	s.met.inflight.With(r.tenant.name).Set(float64(r.tenant.inflight))
+	var outcome string
 	if res != nil {
 		s.storeResultLocked(r.key, *res)
+		s.met.finished.With("ok").Inc()
+		r.step, r.cells = int(res.Steps), res.CellsComputed
+		outcome = fmt.Sprintf("ok: steps=%d converged=%d hash=%x", res.Steps, res.ConvergedAt, res.Hash)
+		r.spanLocked("finished: steps=%d converged=%d", res.Steps, res.ConvergedAt)
+	} else {
+		s.met.finished.With("error").Inc()
+		outcome = "error: " + ef.Error()
+		r.spanLocked("failed: %s", ef.Msg)
 	}
+	s.recordFinishedLocked(r, outcome)
+	delete(s.runs, r.key)
 	subs := r.subs
 	r.subs = nil
 	spool := r.spoolPath
@@ -440,7 +482,7 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		cc := newClientConn(conn)
+		cc := newClientConn(conn, s.cfg.Logf)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -509,6 +551,10 @@ func (s *Server) handleSubmit(cc *clientConn, f wire.Submit) {
 		// so outbox overflow closes the conn instead of dropping it.
 		cc.push(ef, true)
 	}
+	shed := func(reason string, code wire.ErrorCode, msg string) {
+		s.met.sheds.With(reason).Inc()
+		reject(code, msg)
+	}
 	if !nameOK(f.Tenant) || !nameOK(f.ID) {
 		reject(wire.CodeBadRequest, "tenant and id must be 1-64 chars of [a-zA-Z0-9_-]")
 		return
@@ -519,13 +565,13 @@ func (s *Server) handleSubmit(cc *clientConn, f wire.Submit) {
 	s.mu.Lock()
 	if s.draining || s.closed {
 		s.mu.Unlock()
-		reject(wire.CodeDraining, "server is draining")
+		shed(shedDraining, wire.CodeDraining, "server is draining")
 		return
 	}
 	t := s.tenantLocked(f.Tenant)
 	if t == nil {
 		s.mu.Unlock()
-		reject(wire.CodeOverloaded, "tenant table full")
+		shed(shedTenants, wire.CodeOverloaded, "tenant table full")
 		return
 	}
 	quota := t.quota
@@ -549,7 +595,7 @@ func (s *Server) handleSubmit(cc *clientConn, f wire.Submit) {
 	s.mu.Lock()
 	if s.draining || s.closed {
 		s.mu.Unlock()
-		reject(wire.CodeDraining, "server is draining")
+		shed(shedDraining, wire.CodeDraining, "server is draining")
 		return
 	}
 	key := f.Tenant + "/" + f.ID
@@ -565,14 +611,18 @@ func (s *Server) handleSubmit(cc *clientConn, f wire.Submit) {
 	}
 	if inflight := t.inflight; inflight >= quota.MaxInFlight {
 		s.mu.Unlock()
-		reject(wire.CodeOverloaded, fmt.Sprintf("tenant has %d runs in flight (cap %d)", inflight, quota.MaxInFlight))
+		shed(shedInFlight, wire.CodeOverloaded, fmt.Sprintf("tenant has %d runs in flight (cap %d)", inflight, quota.MaxInFlight))
 		return
 	}
-	r := &run{tenant: t, id: f.ID, key: key, sc: sc, phase: wire.PhaseQueued}
+	r := &run{tenant: t, id: f.ID, key: key, sc: sc, phase: wire.PhaseQueued, born: time.Now()}
 	if f.DeadlineMS > 0 {
 		r.deadline = time.Now().Add(time.Duration(f.DeadlineMS) * time.Millisecond)
 	}
 	t.inflight++
+	s.met.admissions.With(f.Tenant).Inc()
+	s.met.inflight.With(f.Tenant).Set(float64(t.inflight))
+	r.spanLocked("submitted (%d-byte scenario, horizon %d)", len(f.Scenario), sc.Horizon)
+	r.spanLocked("admitted (queued)")
 	s.runs[key] = r
 	r.subs = append(r.subs, cc)
 	s.enqueueLocked(r)
@@ -654,6 +704,7 @@ func (s *Server) Drain(ctx context.Context) (int, error) {
 					s.cfg.Logf("server: checkpointing %s: %v (spooling scenario text instead)", r.key, err)
 				} else {
 					data, ext = b, ".ckpt"
+					s.met.ckptBytes.Observe(float64(len(b)))
 				}
 			}
 			if data == nil {
@@ -664,6 +715,9 @@ func (s *Server) Drain(ctx context.Context) (int, error) {
 				return spooled, fmt.Errorf("server: spooling %s: %w", r.key, err)
 			}
 			spooled++
+			s.mu.Lock()
+			r.spanLocked("checkpointed to spool at step %d (%d bytes, %s)", r.stepEstimate(), len(data), ext)
+			s.mu.Unlock()
 			s.cfg.Logf("server: spooled %s at step %d (%s)", r.key, r.stepEstimate(), ext)
 		}
 		if r.runner != nil {
@@ -797,9 +851,12 @@ func (s *Server) recoverSpool() error {
 		r := &run{
 			tenant: t, id: id, key: key, sc: sc,
 			spooled: spooled, spoolPath: path, resumed: true,
-			phase: wire.PhaseQueued, step: step,
+			phase: wire.PhaseQueued, step: step, born: time.Now(),
 		}
 		t.inflight++
+		s.met.readmits.Inc()
+		s.met.inflight.With(tn).Set(float64(t.inflight))
+		r.spanLocked("re-admitted from spool at step %d (%s)", step, ext)
 		s.runs[key] = r
 		s.enqueueLocked(r)
 		s.cfg.Logf("server: spool: re-admitted %s (%s)", key, ext)
@@ -853,6 +910,7 @@ func (s *Server) Close() error {
 // client re-Waits — the stored result table makes that safe.
 type clientConn struct {
 	conn *transport.Conn
+	logf func(format string, args ...any)
 
 	mu     sync.Mutex
 	out    chan []byte
@@ -860,8 +918,8 @@ type clientConn struct {
 	wg     sync.WaitGroup
 }
 
-func newClientConn(conn *transport.Conn) *clientConn {
-	cc := &clientConn{conn: conn, out: make(chan []byte, 64)}
+func newClientConn(conn *transport.Conn, logf func(format string, args ...any)) *clientConn {
+	cc := &clientConn{conn: conn, logf: logf, out: make(chan []byte, 64)}
 	cc.wg.Add(1)
 	go cc.writeLoop()
 	return cc
@@ -884,7 +942,7 @@ func (cc *clientConn) writeLoop() {
 func (cc *clientConn) push(f wire.Frame, terminal bool) {
 	b, err := wire.EncodeFrame(f)
 	if err != nil {
-		log.Printf("server: encoding %T frame: %v", f, err)
+		cc.logf("server: encoding %T frame: %v", f, err)
 		return
 	}
 	cc.mu.Lock()

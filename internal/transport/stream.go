@@ -63,6 +63,10 @@ func (c *Conn) Send(payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	_, err := c.c.Write(frame)
+	if err == nil {
+		mFramesSent.Inc()
+		mBytesSent.Add(float64(len(frame)))
+	}
 	return err
 }
 
@@ -84,6 +88,8 @@ func (c *Conn) Recv() ([]byte, error) {
 	if _, err := io.ReadFull(c.c, payload); err != nil {
 		return nil, err
 	}
+	mFramesRecv.Inc()
+	mBytesRecv.Add(float64(4 + len(payload)))
 	return payload, nil
 }
 
@@ -134,6 +140,7 @@ func (l *Listener) Accept() (*Conn, error) {
 		if errors.Is(err, net.ErrClosed) {
 			return nil, err
 		}
+		mAcceptBackoffs.Inc()
 		delay = nextAcceptDelay(delay)
 		time.Sleep(delay)
 	}
@@ -169,6 +176,7 @@ func DialRetry(ctx context.Context, addr string) (*Conn, error) {
 		if ctx.Err() != nil {
 			return nil, fmt.Errorf("transport: dialling %s: %w (last error: %v)", addr, ctx.Err(), err)
 		}
+		mDialRetries.Inc()
 		t := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():

@@ -76,6 +76,7 @@ func (t *TCP) acceptLoop(node int, ln net.Listener) {
 			// Transient accept failure (EMFILE under overload, an aborted
 			// handshake): back off and keep accepting rather than spinning
 			// or abandoning the node's listener.
+			mAcceptBackoffs.Inc()
 			delay = nextAcceptDelay(delay)
 			time.Sleep(delay)
 			continue
@@ -120,6 +121,7 @@ func (t *TCP) readLoop(node int, conn net.Conn) {
 		default:
 			// Receiver buffer full: drop, loss is permitted.
 			t.queueDrops.Add(1)
+			mQueueDrops.Inc()
 		}
 	}
 }

@@ -160,6 +160,7 @@ func (t *Memory) Send(msg Message) error {
 				// Receiver buffer full: overload is loss, but an
 				// accounted one — the runtime's outcome reports it.
 				t.stats[msg.To].dropped.Add(1)
+				mQueueDrops.Inc()
 			}
 		}(d)
 	}

@@ -122,6 +122,7 @@ const (
 	maxMsgLen      = 1 << 10
 	maxScenarioLen = 1 << 16
 	maxTableLen    = 1 << 16
+	maxTraceLen    = 1 << 12
 )
 
 // Frame is one service protocol frame.
@@ -158,6 +159,12 @@ type Status struct {
 	Phase         RunPhase
 	Step, Horizon int64
 	CellsComputed int64
+	// Trace is the run's lifecycle span log rendered as newline-separated
+	// lines (submitted → admitted/resumed → quantum[i] → checkpointed),
+	// each prefixed with its offset from admission — the machine-readable
+	// run history the admin /runs endpoint serves in structured form.
+	// Oversized logs are truncated at encode, never refused.
+	Trace string
 }
 
 // Result reports a finished run: the certified convergence step (−1 if
@@ -199,7 +206,11 @@ func (e ErrorFrame) Error() string {
 // EncodeFrame renders a frame, enforcing the same caps Decode does so a
 // frame that encodes always decodes.
 func EncodeFrame(f Frame) ([]byte, error) {
-	return f.appendTo([]byte{byte(f.Kind())})
+	b, err := f.appendTo([]byte{byte(f.Kind())})
+	if err == nil {
+		countEncoded(f.Kind())
+	}
+	return b, err
 }
 
 func (s Submit) appendTo(out []byte) ([]byte, error) {
@@ -234,11 +245,15 @@ func (s Status) appendTo(out []byte) ([]byte, error) {
 	if err := checkName("id", s.ID); err != nil {
 		return nil, err
 	}
+	if len(s.Trace) > maxTraceLen {
+		s.Trace = s.Trace[:maxTraceLen]
+	}
 	out = appendName(out, s.ID)
 	out = append(out, byte(s.Phase))
 	out = binary.BigEndian.AppendUint64(out, uint64(s.Step))
 	out = binary.BigEndian.AppendUint64(out, uint64(s.Horizon))
-	return binary.BigEndian.AppendUint64(out, uint64(s.CellsComputed)), nil
+	out = binary.BigEndian.AppendUint64(out, uint64(s.CellsComputed))
+	return appendName(out, s.Trace), nil
 }
 
 func (r Result) appendTo(out []byte) ([]byte, error) {
@@ -274,12 +289,13 @@ func (e ErrorFrame) appendTo(out []byte) ([]byte, error) {
 
 // DecodeFrame parses one frame. Unknown kinds and over-cap lengths are
 // clean errors.
-func DecodeFrame(data []byte) (Frame, error) {
+func DecodeFrame(data []byte) (f Frame, err error) {
 	if len(data) < 1 {
+		countDecoded(0, ErrTruncated)
 		return nil, ErrTruncated
 	}
+	defer func() { countDecoded(FrameKind(data[0]), err) }()
 	d := &frameCursor{b: data[1:]}
-	var f Frame
 	switch FrameKind(data[0]) {
 	case FrameSubmit:
 		s := Submit{Tenant: d.str(maxNameLen), ID: d.str(maxNameLen), DeadlineMS: d.i64()}
@@ -289,7 +305,8 @@ func DecodeFrame(data []byte) (Frame, error) {
 		f = Wait{Tenant: d.str(maxNameLen), ID: d.str(maxNameLen)}
 	case FrameStatus:
 		f = Status{ID: d.str(maxNameLen), Phase: RunPhase(d.u8()),
-			Step: d.i64(), Horizon: d.i64(), CellsComputed: d.i64()}
+			Step: d.i64(), Horizon: d.i64(), CellsComputed: d.i64(),
+			Trace: d.str(maxTraceLen)}
 	case FrameResult:
 		r := Result{ID: d.str(maxNameLen), Steps: d.i64(), ConvergedAt: d.i64(),
 			CellsComputed: d.i64(), Hash: d.u64()}

@@ -13,6 +13,8 @@ func sampleFrames() []Frame {
 		Submit{Tenant: "t", ID: "r", Scenario: []byte{}},
 		Wait{Tenant: "acme", ID: "run-1"},
 		Status{ID: "run-1", Phase: PhasePreempted, Step: 1200, Horizon: 4096, CellsComputed: 99999},
+		Status{ID: "run-2", Phase: PhaseRunning, Step: 64, Horizon: 600, CellsComputed: 512,
+			Trace: "+0.0ms admitted (queued)\n+1.2ms quantum 1: steps 0→64\n"},
 		Result{ID: "run-1", Steps: 812, ConvergedAt: 810, CellsComputed: 12345, Hash: 0xdeadbeefcafe, Table: "0 | 1 2 3\n"},
 		Result{ID: "r2", Steps: 4096, ConvergedAt: -1, CellsComputed: 7, Hash: 1},
 		ErrorFrame{ID: "run-1", Code: CodeOverloaded, RetryAfterMS: 250, Msg: "queue full"},
@@ -82,6 +84,19 @@ func TestFrameEncodeEnforcesCaps(t *testing.T) {
 	}
 	if _, err := EncodeFrame(Result{ID: "r", Table: strings.Repeat("x", maxTableLen+1)}); err == nil {
 		t.Fatal("oversized table encoded")
+	}
+	// Oversized trace logs are truncated, not refused — a status frame
+	// about a long run must always deliver.
+	b0, err := EncodeFrame(Status{ID: "r", Phase: PhaseRunning, Trace: strings.Repeat("t", maxTraceLen+99)})
+	if err != nil {
+		t.Fatalf("long trace refused: %v", err)
+	}
+	f0, err := DecodeFrame(b0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f0.(Status).Trace; len(got) != maxTraceLen {
+		t.Fatalf("trace truncated to %d, want %d", len(got), maxTraceLen)
 	}
 	// Long messages are truncated, not refused — an error about an error
 	// should never itself fail.

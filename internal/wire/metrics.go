@@ -1,0 +1,64 @@
+package wire
+
+import "repro/internal/metrics"
+
+// Frame-level instrumentation: the service protocol counts what it
+// encodes and decodes by kind, plus decode failures — the first place a
+// desynchronised stream or a hostile peer shows up. Handles are
+// resolved once at init; the per-frame cost is one atomic add.
+var (
+	mDecodeErrors = metrics.Default.Counter("wire_frame_decode_errors_total",
+		"Service frames that failed to decode (truncated, over-cap or unknown kind).")
+	mEncodedVec = metrics.Default.CounterVec("wire_frames_encoded_total",
+		"Service frames encoded, by kind.", "kind")
+	mDecodedVec = metrics.Default.CounterVec("wire_frames_decoded_total",
+		"Service frames decoded, by kind.", "kind")
+
+	mEncoded = kindCounters(mEncodedVec)
+	mDecoded = kindCounters(mDecodedVec)
+)
+
+// kindName labels a frame kind for the by-kind counters.
+func kindName(k FrameKind) string {
+	switch k {
+	case FrameSubmit:
+		return "submit"
+	case FrameWait:
+		return "wait"
+	case FrameStatus:
+		return "status"
+	case FrameResult:
+		return "result"
+	case FrameError:
+		return "error"
+	}
+	return "unknown"
+}
+
+// kindCounters pre-resolves one child per frame kind, indexed by the
+// kind byte (slot 0 unused).
+func kindCounters(v *metrics.CounterVec) [6]*metrics.Counter {
+	var out [6]*metrics.Counter
+	for k := FrameSubmit; k <= FrameError; k++ {
+		out[k] = v.With(kindName(k))
+	}
+	return out
+}
+
+// countEncoded records one successfully encoded frame.
+func countEncoded(k FrameKind) {
+	if int(k) < len(mEncoded) && mEncoded[k] != nil {
+		mEncoded[k].Inc()
+	}
+}
+
+// countDecoded records one decode outcome.
+func countDecoded(k FrameKind, err error) {
+	if err != nil {
+		mDecodeErrors.Inc()
+		return
+	}
+	if int(k) < len(mDecoded) && mDecoded[k] != nil {
+		mDecoded[k].Inc()
+	}
+}
